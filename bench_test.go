@@ -1,0 +1,340 @@
+// Benchmarks regenerating the paper's evaluation (reconstructed suite
+// E1–E10, plus the repository-extension experiments E11–E12; see DESIGN.md §5
+// and EXPERIMENTS.md). One benchmark family per
+// table/figure; cmd/skybench prints the same measurements as paper-style
+// tables. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dyndiag"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/quaddiag"
+	"repro/internal/skyline"
+)
+
+const benchSeed = 42
+
+// E1: quadrant diagram build time vs n, per distribution and construction.
+func BenchmarkE1_QuadrantVsN(b *testing.B) {
+	for _, dist := range []dataset.Distribution{dataset.Correlated, dataset.Independent, dataset.AntiCorrelated} {
+		for _, n := range []int{100, 200, 400} {
+			pts := experiments.GenQuadrant(dist, n, benchSeed)
+			for _, alg := range []quaddiag.Algorithm{quaddiag.AlgBaseline, quaddiag.AlgDSG, quaddiag.AlgScanning} {
+				alg := alg
+				b.Run(fmt.Sprintf("%s/n=%d/%s", dist, n, alg), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := quaddiag.Build(pts, alg); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+			b.Run(fmt.Sprintf("%s/n=%d/sweeping", dist, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := quaddiag.BuildSweeping(pts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// E2: quadrant diagram build time vs domain size s at fixed n.
+func BenchmarkE2_QuadrantVsDomain(b *testing.B) {
+	const n = 600
+	for _, s := range []int{32, 128, 512, 2048} {
+		pts := experiments.GenDomain(dataset.Independent, n, s, benchSeed)
+		for _, alg := range []quaddiag.Algorithm{quaddiag.AlgBaseline, quaddiag.AlgDSG, quaddiag.AlgScanning} {
+			alg := alg
+			b.Run(fmt.Sprintf("s=%d/%s", s, alg), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := quaddiag.Build(pts, alg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// E3: global diagram build time vs n.
+func BenchmarkE3_GlobalVsN(b *testing.B) {
+	for _, n := range []int{100, 200, 400} {
+		pts := experiments.GenQuadrant(dataset.Independent, n, benchSeed)
+		b.Run(fmt.Sprintf("n=%d/scanning", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := quaddiag.BuildGlobal(pts, quaddiag.AlgScanning); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E4: dynamic diagram build time vs n. The O(n^5) baseline only runs at the
+// small sizes, as any evaluation would cap it.
+func BenchmarkE4_DynamicVsN(b *testing.B) {
+	for _, sz := range []struct {
+		n            int
+		withBaseline bool
+	}{{8, true}, {16, true}, {32, true}, {48, false}} {
+		pts := experiments.GenContinuous(dataset.Independent, sz.n, benchSeed)
+		algs := []dyndiag.Algorithm{dyndiag.AlgSubset, dyndiag.AlgScanning}
+		if sz.withBaseline {
+			algs = append([]dyndiag.Algorithm{dyndiag.AlgBaseline}, algs...)
+		}
+		for _, alg := range algs {
+			alg := alg
+			b.Run(fmt.Sprintf("n=%d/%s", sz.n, alg), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := dyndiag.Build(pts, alg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// E5: dynamic diagram build time vs domain size s at fixed n.
+func BenchmarkE5_DynamicVsDomain(b *testing.B) {
+	const n = 128
+	for _, s := range []int{16, 32, 64, 128} {
+		pts := experiments.GenDomain(dataset.Independent, n, s, benchSeed)
+		for _, alg := range []dyndiag.Algorithm{dyndiag.AlgBaseline, dyndiag.AlgSubset, dyndiag.AlgScanning} {
+			alg := alg
+			b.Run(fmt.Sprintf("s=%d/%s", s, alg), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := dyndiag.Build(pts, alg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// E6: diagram structure statistics (build + merge into polyominoes).
+func BenchmarkE6_DiagramStats(b *testing.B) {
+	for _, dist := range []dataset.Distribution{dataset.Correlated, dataset.Independent, dataset.AntiCorrelated} {
+		pts := experiments.GenQuadrant(dist, 200, benchSeed)
+		b.Run(dist.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := quaddiag.BuildScanning(pts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.ComputeStats(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E7: high-dimensional construction time vs d.
+func BenchmarkE7_HighDimVsD(b *testing.B) {
+	const n = 12
+	for _, dim := range []int{2, 3, 4} {
+		pts, err := dataset.Generate(dataset.Config{N: n, Dim: dim, Dist: dataset.Independent, Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = dataset.GeneralPosition(pts)
+		type build struct {
+			name string
+			f    func([]geom.Point, int) (*quaddiag.HDDiagram, error)
+		}
+		for _, bb := range []build{
+			{"baseline", quaddiag.BuildBaselineHD},
+			{"dsg", quaddiag.BuildDSGHD},
+			{"scanning", quaddiag.BuildScanningHD},
+		} {
+			bb := bb
+			b.Run(fmt.Sprintf("d=%d/%s", dim, bb.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := bb.f(pts, dim); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// E8: per-query latency, diagram point location vs from-scratch skyline.
+func BenchmarkE8_QueryVsScratch(b *testing.B) {
+	for _, n := range []int{200, 1000} {
+		pts := experiments.GenQuadrant(dataset.Independent, n, benchSeed)
+		d, err := quaddiag.BuildScanning(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := geom.Pt2(-1, float64(n), float64(n))
+		b.Run(fmt.Sprintf("n=%d/diagram", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = d.Query(q)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/scratch", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = skyline.QuadrantSkyline(pts, q, 0)
+			}
+		})
+	}
+}
+
+// E9: the realistic NBA-like dataset end to end.
+func BenchmarkE9_RealDataset(b *testing.B) {
+	pts, err := dataset.NBALike(500, 2, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range []quaddiag.Algorithm{quaddiag.AlgBaseline, quaddiag.AlgDSG, quaddiag.AlgScanning} {
+		alg := alg
+		b.Run("quadrant/"+string(alg), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := quaddiag.Build(pts, alg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	small := pts[:48]
+	for _, alg := range []dyndiag.Algorithm{dyndiag.AlgSubset, dyndiag.AlgScanning} {
+		alg := alg
+		b.Run("dynamic/"+string(alg), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dyndiag.Build(small, alg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E10: ablations — direct vs full dominance links; sweeping vs scan+merge.
+func BenchmarkE10_Ablations(b *testing.B) {
+	for _, n := range []int{100, 200, 400} {
+		pts := experiments.GenQuadrant(dataset.Independent, n, benchSeed)
+		b.Run(fmt.Sprintf("n=%d/dsg-direct-links", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := quaddiag.BuildDSG(pts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/dsg-full-links", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := quaddiag.BuildDSGFull(pts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/sweeping", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := quaddiag.BuildSweeping(pts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/scan-plus-merge", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := quaddiag.BuildScanning(pts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.Merge(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E11: incremental maintenance vs rebuild.
+func BenchmarkE11_Maintenance(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		pts := experiments.GenQuadrant(dataset.Independent, n, benchSeed)
+		d, err := quaddiag.BuildScanning(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := geom.Pt2(1000000, float64(2*n)+0.5, float64(2*n)+0.5)
+		withP, err := d.WithInsert(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/rebuild", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := quaddiag.BuildScanning(pts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/insert", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.WithInsert(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/delete", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := withP.WithDelete(p.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E12: compact vs flat storage, reported as bytes per representation.
+func BenchmarkE12_CompactMemory(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		pts := experiments.GenQuadrant(dataset.Correlated, n, benchSeed)
+		d, err := quaddiag.BuildScanning(pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var compact, flat int
+			for i := 0; i < b.N; i++ {
+				c, err := quaddiag.NewCompact(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				compact, flat = c.MemoryFootprint()
+			}
+			b.ReportMetric(float64(compact), "compact-bytes")
+			b.ReportMetric(float64(flat), "flat-bytes")
+		})
+	}
+}

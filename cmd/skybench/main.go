@@ -1,0 +1,75 @@
+// Command skybench regenerates the paper's evaluation tables (reconstructed
+// suite E1–E10, see DESIGN.md §5). By default it runs every experiment at
+// full scale; -quick shrinks the problem sizes, -exp selects one experiment.
+//
+//	skybench               # full suite
+//	skybench -quick        # small sizes, finishes in seconds
+//	skybench -exp E4       # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/svgplot"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced problem sizes")
+	exp := flag.String("exp", "", "run a single experiment (E1..E10)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	reps := flag.Int("reps", 1, "report the minimum of this many runs per measurement")
+	plotDir := flag.String("plotdir", "", "also write each experiment's figure as <dir>/<ID>.svg")
+	format := flag.String("format", "text", "table output: text|markdown")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Reps: *reps}
+	var tables []experiments.Table
+	if *exp != "" {
+		f, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "skybench: unknown experiment %q (want one of %v)\n", *exp, experiments.IDs())
+			os.Exit(2)
+		}
+		tables = []experiments.Table{f(cfg)}
+	} else {
+		tables = experiments.All(cfg)
+	}
+	for _, t := range tables {
+		if *format == "markdown" {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Print(t.Format())
+		}
+		fmt.Println()
+	}
+	if *plotDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*plotDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "skybench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		opt, series, ok := t.Chart()
+		if !ok {
+			continue
+		}
+		path := filepath.Join(*plotDir, t.ID+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skybench:", err)
+			os.Exit(1)
+		}
+		if err := svgplot.WriteLineChart(f, opt, series); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "skybench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}

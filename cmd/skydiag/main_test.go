@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseQuery(t *testing.T) {
+	q, err := parseQuery("10, 80")
+	if err != nil || q.X() != 10 || q.Y() != 80 {
+		t.Fatalf("parseQuery = %v, %v", q, err)
+	}
+	q, err = parseQuery("1,2,3")
+	if err != nil || q.Dim() != 3 {
+		t.Fatalf("3-D query = %v, %v", q, err)
+	}
+	if _, err := parseQuery("1,abc"); err == nil {
+		t.Fatal("bad coordinate must fail")
+	}
+}
+
+func TestLoadPointsDefaultAndFile(t *testing.T) {
+	pts, err := loadPoints("")
+	if err != nil || len(pts) != 11 {
+		t.Fatalf("default points = %d, %v", len(pts), err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.csv")
+	if err := os.WriteFile(path, []byte("1,2,3\n2,4,5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts, err = loadPoints(path)
+	if err != nil || len(pts) != 2 {
+		t.Fatalf("file points = %v, %v", pts, err)
+	}
+	if _, err := loadPoints(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestCommandsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "d.csv")
+	if err := cmdGen([]string{"-n", "40", "-dist", "anti", "-domain", "64", "-o", csv}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdBuild([]string{"-in", csv, "-kind", "quadrant"}); err != nil {
+		t.Fatalf("build quadrant: %v", err)
+	}
+	if err := cmdBuild([]string{"-in", csv, "-kind", "global"}); err != nil {
+		t.Fatalf("build global: %v", err)
+	}
+	if err := cmdBuild([]string{"-in", csv, "-kind", "dynamic"}); err != nil {
+		t.Fatalf("build dynamic: %v", err)
+	}
+	if err := cmdBuild([]string{"-in", csv, "-kind", "nope"}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if err := cmdQuery([]string{"-in", csv, "-kind", "quadrant", "-q", "10.5,20.5"}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := cmdQuery([]string{"-in", csv, "-kind", "dynamic", "-q", "10.5,20.5", "-diagram=false"}); err != nil {
+		t.Fatalf("scratch query: %v", err)
+	}
+	for _, kind := range []string{"quadrant", "dynamic", "voronoi"} {
+		out := filepath.Join(dir, kind+".svg")
+		if err := cmdSVG([]string{"-in", csv, "-kind", kind, "-o", out}); err != nil {
+			t.Fatalf("svg %s: %v", kind, err)
+		}
+		if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+			t.Fatalf("svg %s output missing", kind)
+		}
+	}
+	// Sweeping needs general position; the hotels default satisfies it.
+	if err := cmdSVG([]string{"-kind", "sweeping", "-o", filepath.Join(dir, "s.svg")}); err != nil {
+		t.Fatalf("svg sweeping: %v", err)
+	}
+	if err := cmdSVG([]string{"-in", csv, "-kind", "nope"}); err == nil {
+		t.Fatal("unknown svg kind must fail")
+	}
+}
+
+func TestSaveAndServeFile(t *testing.T) {
+	dir := t.TempDir()
+	sky := filepath.Join(dir, "d.sky")
+	if err := cmdSave([]string{"-o", sky}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := cmdServeFile([]string{"-in", sky, "-q", "10,80"}); err != nil {
+		t.Fatalf("serve-file: %v", err)
+	}
+	if err := cmdServeFile([]string{"-in", filepath.Join(dir, "missing.sky")}); err == nil {
+		t.Fatal("missing diagram file must fail")
+	}
+}
+
+func TestInfluenceAndTrajectoryCommands(t *testing.T) {
+	if err := cmdInfluence([]string{"-id", "11"}); err != nil {
+		t.Fatalf("influence: %v", err)
+	}
+	if err := cmdInfluence([]string{}); err != nil {
+		t.Fatalf("influence ranking: %v", err)
+	}
+	if err := cmdInfluence([]string{"-id", "4242"}); err == nil {
+		t.Fatal("unknown id must fail")
+	}
+	if err := cmdTrajectory([]string{"-waypoints", "2,70;30,95"}); err != nil {
+		t.Fatalf("trajectory: %v", err)
+	}
+	if err := cmdTrajectory([]string{"-waypoints", "2,70"}); err == nil {
+		t.Fatal("single waypoint must fail")
+	}
+	if err := cmdTrajectory([]string{"-waypoints", "1,2,3;4,5"}); err == nil {
+		t.Fatal("3-D waypoint must fail")
+	}
+}

@@ -1,0 +1,112 @@
+// Command skyload drives load against a running skyserve instance and
+// reports throughput and latency percentiles — the measurement a service
+// owner runs before putting the diagram behind real traffic.
+//
+//	skyserve -in points.csv -addr :8080 &
+//	skyload  -addr http://localhost:8080 -kind quadrant -c 8 -duration 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "service base URL")
+	kind := flag.String("kind", "quadrant", "query kind: quadrant|global|dynamic")
+	conc := flag.Int("c", 4, "concurrent workers")
+	duration := flag.Duration("duration", 5*time.Second, "test duration")
+	xmax := flag.Float64("xmax", 35, "queries sample x in [0, xmax)")
+	ymax := flag.Float64("ymax", 110, "queries sample y in [0, ymax)")
+	seed := flag.Int64("seed", 1, "query seed")
+	flag.Parse()
+
+	rep, err := run(*addr, *kind, *conc, *duration, *xmax, *ymax, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skyload:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Format())
+}
+
+// Report summarises one load run.
+type Report struct {
+	Requests, Errors int64
+	Elapsed          time.Duration
+	P50, P95, P99    time.Duration
+}
+
+// Format renders the report.
+func (r Report) Format() string {
+	qps := float64(r.Requests) / r.Elapsed.Seconds()
+	return fmt.Sprintf(
+		"requests: %d  errors: %d  elapsed: %v\nthroughput: %.0f q/s\nlatency p50=%v p95=%v p99=%v\n",
+		r.Requests, r.Errors, r.Elapsed.Round(time.Millisecond), qps, r.P50, r.P95, r.P99)
+}
+
+func run(addr, kind string, conc int, duration time.Duration, xmax, ymax float64, seed int64) (Report, error) {
+	c := client.New(addr, client.WithRetries(0))
+	if err := c.Health(context.Background()); err != nil {
+		return Report{}, fmt.Errorf("service not healthy: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	var requests, errors int64
+	latencies := make([][]time.Duration, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for ctx.Err() == nil {
+				x := rng.Float64() * xmax
+				y := rng.Float64() * ymax
+				t0 := time.Now()
+				_, err := c.Skyline(ctx, kind, x, y)
+				if ctx.Err() != nil {
+					return // deadline hit mid-request: not an error
+				}
+				atomic.AddInt64(&requests, 1)
+				if err != nil {
+					atomic.AddInt64(&errors, 1)
+					continue
+				}
+				latencies[w] = append(latencies[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := Report{Requests: requests, Errors: errors, Elapsed: elapsed}
+	if len(all) > 0 {
+		rep.P50 = all[len(all)*50/100]
+		rep.P95 = all[min(len(all)*95/100, len(all)-1)]
+		rep.P99 = all[min(len(all)*99/100, len(all)-1)]
+	}
+	return rep, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+func TestRunAgainstLiveService(t *testing.T) {
+	h, err := server.New(dataset.Hotels(), server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	rep, err := run(srv.URL, "quadrant", 2, 300*time.Millisecond, 35, 110, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors against a healthy service", rep.Errors)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("implausible latencies: %+v", rep)
+	}
+	out := rep.Format()
+	for _, want := range []string{"requests:", "throughput:", "p50="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnhealthyService(t *testing.T) {
+	if _, err := run("http://127.0.0.1:1", "quadrant", 1, 50*time.Millisecond, 1, 1, 1); err == nil {
+		t.Fatal("unreachable service must fail fast")
+	}
+}

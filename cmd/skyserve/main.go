@@ -1,0 +1,50 @@
+// Command skyserve builds the skyline diagrams for a dataset and serves
+// skyline queries over HTTP:
+//
+//	skyserve -in points.csv -addr :8080
+//	curl 'localhost:8080/v1/skyline?kind=global&x=10&y=80'
+//
+// Omitting -in serves the paper's 11-hotel running example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/server"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV (default: the paper's hotel example)")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxDyn := flag.Int("max-dynamic", 128, "largest dataset for which the dynamic diagram is built")
+	flag.Parse()
+
+	var pts []geom.Point
+	if *in == "" {
+		pts = dataset.Hotels()
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loaded, err := dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = loaded
+	}
+
+	h, err := server.New(pts, server.Config{MaxDynamicPoints: *maxDyn})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("skyserve: %d points, listening on %s\n", len(pts), *addr)
+	log.Fatal(http.ListenAndServe(*addr, h))
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go implementation of the skyline diagram —
+// the Voronoi counterpart for skyline queries — reproducing Liu, Yang,
+// Xiong, Pei and Luo, "Skyline Diagram: Finding the Voronoi Counterpart for
+// Skyline Queries" (ICDE 2018), together with every substrate and
+// application the paper builds on or motivates.
+//
+// Start at internal/core for the library API, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the paper-vs-measured record. The
+// benchmarks in bench_test.go regenerate the paper's evaluation:
+//
+//	go test -bench=. -benchmem
+//
+// The package itself holds only module-level documentation and benchmarks;
+// all code lives under internal/, cmd/ and examples/.
+package repro

@@ -1,0 +1,75 @@
+// NBA: global skyline and reverse skyline on realistic player statistics.
+//
+// A scout has a database of player season stats (inverted so smaller is
+// better, per the library's minimisation convention) and a target profile q.
+//
+//   - The global skyline of q lists the players that are "locally optimal"
+//     around the profile in every direction — the comparable alternatives.
+//   - The reverse skyline of q lists the players for whom q itself would be
+//     a competitive alternative — the market the profile would disrupt.
+//     (This is the paper's reverse-skyline application of the diagram.)
+//
+// The example answers the global query both from scratch and from the
+// precomputed diagram, and cross-checks the reverse skyline between the
+// brute-force and the indexed evaluator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/rskyline"
+)
+
+func main() {
+	players, err := dataset.NBALike(300, 2, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Target profile: a solid starter (remember: inverted stats, lower is
+	// better; 0 would be an 82-game 2500-point season). The half-integer
+	// coordinates keep the query off the diagram's grid lines: queries
+	// exactly on a grid line take the upper/right cell's result by
+	// convention, which differs from the >=-side convention of the
+	// from-scratch oracle we compare against below.
+	q := geom.Pt2(-1, 25.5, 900.5)
+
+	// Global skyline, from scratch and from the diagram.
+	scratch := core.GlobalSkyline(players, q)
+	diagram, err := core.BuildGlobal(players, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	viaDiagram := diagram.QueryPoints(q)
+	if len(scratch) != len(viaDiagram) {
+		log.Fatalf("diagram (%d) and scratch (%d) disagree", len(viaDiagram), len(scratch))
+	}
+	fmt.Printf("global skyline around profile (%g games-missed, %g points-missed): %d players\n",
+		q.X(), q.Y(), len(scratch))
+	for i, p := range scratch {
+		if i == 8 {
+			fmt.Printf("  ... and %d more\n", len(scratch)-8)
+			break
+		}
+		fmt.Printf("  player %3d: games-missed=%3.0f points-missed=%4.0f\n", p.ID, p.X(), p.Y())
+	}
+
+	// Reverse skyline: whose dynamic skyline would q appear in?
+	idx := rskyline.NewIndex(players)
+	rsl := idx.Query(q)
+	brute := rskyline.Brute(players, q)
+	if len(rsl) != len(brute) {
+		log.Fatalf("indexed (%d) and brute (%d) reverse skylines disagree", len(rsl), len(brute))
+	}
+	fmt.Printf("\nreverse skyline of the profile: %d players would see it as competitive\n", len(rsl))
+	for i, p := range rsl {
+		if i == 8 {
+			fmt.Printf("  ... and %d more\n", len(rsl)-8)
+			break
+		}
+		fmt.Printf("  player %3d: games-missed=%3.0f points-missed=%4.0f\n", p.ID, p.X(), p.Y())
+	}
+}

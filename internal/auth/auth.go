@@ -1,0 +1,227 @@
+// Package auth implements authenticated skyline queries over a precomputed
+// skyline diagram — the second application the paper lists for the diagram
+// (Section I), analogous to authenticating kNN results with a Voronoi-based
+// Merkle structure.
+//
+// The data owner builds a Merkle tree whose leaves are the per-cell skyline
+// results of the diagram, in row-major cell order, and publishes the root
+// digest. An untrusted server answers a query with the result plus a Merkle
+// proof for the query's cell; the client verifies the proof against the root
+// and the cell index it derives itself from the (public) grid lines.
+package auth
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Digest is a SHA-256 hash value.
+type Digest = [sha256.Size]byte
+
+// Tree is a Merkle tree over an ordered list of leaf payloads.
+type Tree struct {
+	levels [][]Digest // levels[0] = leaf digests, last level has one node
+}
+
+// leafDigest binds the cell index to its result so a malicious server cannot
+// answer with another cell's (valid) result.
+func leafDigest(cellIndex int, ids []int32) Digest {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(cellIndex))
+	h.Write(buf[:])
+	for _, id := range ids {
+		binary.BigEndian.PutUint32(buf[:4], uint32(id))
+		h.Write(buf[:4])
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+func interior(a, b Digest) Digest {
+	h := sha256.New()
+	h.Write(a[:])
+	h.Write(b[:])
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// NewTree builds a Merkle tree over the given leaf digests. An odd node at
+// the end of a level is promoted by pairing it with itself.
+func NewTree(leaves []Digest) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, errors.New("auth: no leaves")
+	}
+	t := &Tree{levels: [][]Digest{append([]Digest(nil), leaves...)}}
+	for len(t.levels[len(t.levels)-1]) > 1 {
+		prev := t.levels[len(t.levels)-1]
+		next := make([]Digest, 0, (len(prev)+1)/2)
+		for i := 0; i < len(prev); i += 2 {
+			if i+1 < len(prev) {
+				next = append(next, interior(prev[i], prev[i+1]))
+			} else {
+				next = append(next, interior(prev[i], prev[i]))
+			}
+		}
+		t.levels = append(t.levels, next)
+	}
+	return t, nil
+}
+
+// Root returns the tree's root digest.
+func (t *Tree) Root() Digest { return t.levels[len(t.levels)-1][0] }
+
+// Proof is a Merkle authentication path for one leaf.
+type Proof struct {
+	LeafIndex int
+	Siblings  []Digest
+}
+
+// Prove returns the authentication path for leaf idx.
+func (t *Tree) Prove(idx int) (Proof, error) {
+	if idx < 0 || idx >= len(t.levels[0]) {
+		return Proof{}, fmt.Errorf("auth: leaf %d out of range [0,%d)", idx, len(t.levels[0]))
+	}
+	pr := Proof{LeafIndex: idx}
+	for _, level := range t.levels[:len(t.levels)-1] {
+		sib := idx ^ 1
+		if sib >= len(level) {
+			sib = idx // odd node paired with itself
+		}
+		pr.Siblings = append(pr.Siblings, level[sib])
+		idx /= 2
+	}
+	return pr, nil
+}
+
+// VerifyProof recomputes the root from a leaf digest and a proof.
+func VerifyProof(leaf Digest, pr Proof, root Digest) bool {
+	d := leaf
+	idx := pr.LeafIndex
+	for _, sib := range pr.Siblings {
+		if idx%2 == 0 {
+			d = interior(d, sib)
+		} else {
+			d = interior(sib, d)
+		}
+		idx /= 2
+	}
+	return d == root
+}
+
+// --- Authenticated diagram ---------------------------------------------------
+
+// Prover is the untrusted server's side: a cell table (quadrant cells or
+// dynamic subcells) plus its Merkle tree.
+type Prover struct {
+	xs, ys []float64
+	rows   int
+	cell   func(i, j int) []int32
+	tree   *Tree
+}
+
+// SignedRoot is what the data owner publishes: the Merkle root plus the grid
+// lines, which the client needs to locate queries independently.
+type SignedRoot struct {
+	Root   Digest
+	Xs, Ys []float64
+}
+
+func newProver(xs, ys []float64, cell func(i, j int) []int32) (*Prover, SignedRoot, error) {
+	cols, rows := len(xs)+1, len(ys)+1
+	leaves := make([]Digest, cols*rows)
+	for i := 0; i < cols; i++ {
+		for j := 0; j < rows; j++ {
+			k := i*rows + j
+			leaves[k] = leafDigest(k, cell(i, j))
+		}
+	}
+	t, err := NewTree(leaves)
+	if err != nil {
+		return nil, SignedRoot{}, err
+	}
+	p := &Prover{
+		xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...),
+		rows: rows, cell: cell, tree: t,
+	}
+	return p, SignedRoot{Root: t.Root(), Xs: p.xs, Ys: p.ys}, nil
+}
+
+// NewProver builds the authenticated structure over a quadrant diagram.
+func NewProver(d *core.QuadrantDiagram) (*Prover, SignedRoot, error) {
+	g := d.Grid()
+	return newProver(g.Xs, g.Ys, d.Cells().Cell)
+}
+
+// NewDynamicProver builds the authenticated structure over a dynamic
+// diagram: leaves are the subcell results, and the published lines are the
+// subcell subdivision (points and bisectors), which the client rederives or
+// receives signed.
+func NewDynamicProver(d *core.DynamicDiagram) (*Prover, SignedRoot, error) {
+	sg := d.SubGrid()
+	xs := make([]float64, len(sg.XLines))
+	for i, l := range sg.XLines {
+		xs[i] = l.V
+	}
+	ys := make([]float64, len(sg.YLines))
+	for i, l := range sg.YLines {
+		ys[i] = l.V
+	}
+	inner := d // capture
+	return newProver(xs, ys, func(i, j int) []int32 {
+		q := sg.RepresentativeQuery(i, j)
+		return inner.Query(q)
+	})
+}
+
+// Answer is a query result with its authentication path.
+type Answer struct {
+	IDs   []int32
+	Cell  int
+	Proof Proof
+}
+
+// Answer produces the (result, proof) pair for query q.
+func (p *Prover) Answer(q geom.Point) (Answer, error) {
+	i := searchCell(p.xs, q.X())
+	j := searchCell(p.ys, q.Y())
+	k := i*p.rows + j
+	pr, err := p.tree.Prove(k)
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{IDs: p.cell(i, j), Cell: k, Proof: pr}, nil
+}
+
+// Verify checks an answer against the published root: the client recomputes
+// the cell index from the public grid lines (so the server cannot
+// substitute a different cell) and replays the Merkle path.
+func Verify(root SignedRoot, q geom.Point, ans Answer) bool {
+	i := searchCell(root.Xs, q.X())
+	j := searchCell(root.Ys, q.Y())
+	k := i*(len(root.Ys)+1) + j
+	if k != ans.Cell || k != ans.Proof.LeafIndex {
+		return false
+	}
+	return VerifyProof(leafDigest(k, ans.IDs), ans.Proof, root.Root)
+}
+
+func searchCell(vs []float64, v float64) int {
+	lo, hi := 0, len(vs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if vs[mid] > v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

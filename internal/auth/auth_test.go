@@ -1,0 +1,156 @@
+package auth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func TestMerkleTreeBasics(t *testing.T) {
+	leaves := []Digest{leafDigest(0, []int32{1}), leafDigest(1, []int32{2}),
+		leafDigest(2, []int32{3}), leafDigest(3, nil), leafDigest(4, []int32{5, 6})}
+	tree, err := NewTree(leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, leaf := range leaves {
+		pr, err := tree.Prove(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyProof(leaf, pr, tree.Root()) {
+			t.Fatalf("proof %d rejected", i)
+		}
+		// Wrong leaf content fails.
+		if VerifyProof(leafDigest(i, []int32{99}), pr, tree.Root()) {
+			t.Fatalf("forged leaf %d accepted", i)
+		}
+	}
+	if _, err := tree.Prove(99); err == nil {
+		t.Fatal("out-of-range proof must fail")
+	}
+	if _, err := NewTree(nil); err == nil {
+		t.Fatal("empty tree must fail")
+	}
+}
+
+func TestAuthenticatedQueries(t *testing.T) {
+	hotels := dataset.Hotels()
+	d, err := core.BuildQuadrant(hotels, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, root, err := NewProver(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt2(-1, rng.Float64()*35, rng.Float64()*110)
+		ans, err := prover.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(root, q, ans) {
+			t.Fatalf("honest answer rejected for %v", q)
+		}
+		if !geom.EqualIDSets(toInts(ans.IDs), toInts(d.Query(q))) {
+			t.Fatalf("answer differs from diagram for %v", q)
+		}
+	}
+}
+
+func TestTamperedAnswersRejected(t *testing.T) {
+	hotels := dataset.Hotels()
+	d, err := core.BuildQuadrant(hotels, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, root, err := NewProver(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataset.HotelQuery()
+	ans, err := prover.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Result tampering: drop a point from the skyline.
+	forged := ans
+	forged.IDs = ans.IDs[:len(ans.IDs)-1]
+	if Verify(root, q, forged) {
+		t.Fatal("dropped-point answer accepted")
+	}
+
+	// 2. Result tampering: add a point.
+	forged = ans
+	forged.IDs = append(append([]int32(nil), ans.IDs...), 99)
+	if Verify(root, q, forged) {
+		t.Fatal("added-point answer accepted")
+	}
+
+	// 3. Cell substitution: answer with a different (validly signed) cell.
+	other, err := prover.Answer(geom.Pt2(-1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(root, q, other) {
+		t.Fatal("cell-substituted answer accepted")
+	}
+
+	// 4. Root substitution.
+	badRoot := root
+	badRoot.Root[0] ^= 1
+	if Verify(badRoot, q, ans) {
+		t.Fatal("answer verified against wrong root")
+	}
+}
+
+func toInts(ids []int32) []int {
+	out := make([]int, len(ids))
+	for i, v := range ids {
+		out[i] = int(v)
+	}
+	return out
+}
+
+func TestDynamicAuthenticatedQueries(t *testing.T) {
+	hotels := dataset.Hotels()
+	d, err := core.BuildDynamic(hotels, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, root, err := NewDynamicProver(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 150; trial++ {
+		q := geom.Pt2(-1, rng.Float64()*35, rng.Float64()*110)
+		ans, err := prover.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(root, q, ans) {
+			t.Fatalf("honest dynamic answer rejected for %v", q)
+		}
+		if !geom.EqualIDSets(toInts(ans.IDs), toInts(d.Query(q))) {
+			t.Fatalf("dynamic answer differs from diagram for %v: %v vs %v", q, ans.IDs, d.Query(q))
+		}
+	}
+	// Tampering still rejected.
+	q := dataset.HotelQuery()
+	ans, err := prover.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := ans
+	forged.IDs = append([]int32{0}, ans.IDs...)
+	if Verify(root, q, forged) {
+		t.Fatal("forged dynamic answer accepted")
+	}
+}

@@ -1,0 +1,193 @@
+// Package client is the Go client for the skyline query service
+// (internal/server): typed wrappers over the HTTP JSON API with
+// context support, bounded retries on transient failures, and error
+// values that surface the server's message.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Client talks to one skyline query service.
+type Client struct {
+	base    string
+	httpc   *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithRetries sets how many times a transient failure (network error or
+// 5xx) is retried. Default 2.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the delay between retries. Default 50ms.
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New creates a client for the service at base (e.g. "http://localhost:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		httpc:   &http.Client{Timeout: 10 * time.Second},
+		retries: 2,
+		backoff: 50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("skyline service: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Stats mirrors the /v1/stats response.
+type Stats struct {
+	Points         int  `json:"points"`
+	Cells          int  `json:"cells"`
+	Polyominoes    int  `json:"polyominoes"`
+	DynamicEnabled bool `json:"dynamic_enabled"`
+	Subcells       int  `json:"subcells"`
+}
+
+// Result mirrors the /v1/skyline response.
+type Result struct {
+	Kind   string    `json:"kind"`
+	Query  []float64 `json:"query"`
+	IDs    []int32   `json:"ids"`
+	Points []Point   `json:"points"`
+}
+
+// Point is one result point.
+type Point struct {
+	ID     int       `json:"id"`
+	Coords []float64 `json:"coords"`
+}
+
+// Health checks the service's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.getJSON(ctx, "/healthz", &struct{}{})
+}
+
+// Stats fetches the dataset and diagram sizes.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var s Stats
+	err := c.getJSON(ctx, "/v1/stats", &s)
+	return s, err
+}
+
+// Skyline answers a skyline query of the given kind ("quadrant", "global",
+// or "dynamic") at (x, y).
+func (c *Client) Skyline(ctx context.Context, kind string, x, y float64) (Result, error) {
+	var r Result
+	path := fmt.Sprintf("/v1/skyline?kind=%s&x=%g&y=%g", kind, x, y)
+	err := c.getJSON(ctx, path, &r)
+	return r, err
+}
+
+// Insert adds a point to the served dataset.
+func (c *Client) Insert(ctx context.Context, p geom.Point) error {
+	body, err := json.Marshal(map[string]interface{}{"id": p.ID, "coords": p.Coords})
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, "/v1/points", body, nil)
+}
+
+// Delete removes a point from the served dataset.
+func (c *Client) Delete(ctx context.Context, id int) error {
+	return c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/points/%d", id), nil, nil)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out interface{}) error {
+	return c.do(ctx, http.MethodGet, path, nil, out)
+}
+
+// do issues the request with retries on network errors and 5xx responses.
+// Non-idempotent verbs (POST) are retried only on network errors that
+// happened before any byte was written — conservatively approximated here by
+// not retrying POST on 5xx.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.backoff):
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue // transient network error: retry
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 && method == http.MethodGet {
+			lastErr = &APIError{StatusCode: resp.StatusCode, Message: errMessage(data)}
+			continue // retry idempotent reads on server errors
+		}
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			return &APIError{StatusCode: resp.StatusCode, Message: errMessage(data)}
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("skyline service: decode %s: %w", path, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("skyline service: %s %s failed after %d attempts: %w",
+		method, path, c.retries+1, lastErr)
+}
+
+func errMessage(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	msg := strings.TrimSpace(string(data))
+	if len(msg) > 200 {
+		msg = msg[:200]
+	}
+	return msg
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// The paper's running example: eleven hotels, a guest at q = (10, 80).
+func ExampleBuildQuadrant() {
+	hotels := dataset.Hotels()
+	d, err := core.BuildQuadrant(hotels, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	q := core.Pt(-1, 10, 80)
+	fmt.Println(d.Query(q))
+	// Output: [3 8 10]
+}
+
+func ExampleBuildGlobal() {
+	hotels := dataset.Hotels()
+	d, err := core.BuildGlobal(hotels, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.Query(core.Pt(-1, 10, 80)))
+	// Output: [3 6 8 10 11]
+}
+
+func ExampleBuildDynamic() {
+	hotels := dataset.Hotels()
+	d, err := core.BuildDynamic(hotels, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.Query(core.Pt(-1, 10, 80)))
+	// Output: [6 11]
+}
+
+func ExampleQuadrantDiagram_WithInsert() {
+	hotels := dataset.Hotels()
+	d, err := core.BuildQuadrant(hotels, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	// A new hotel at (13, 85) dominates part of the old answer.
+	updated, err := d.WithInsert(core.Pt(99, 13, 85))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(updated.Query(core.Pt(-1, 10, 80)))
+	// Output: [8 99]
+}
+
+func ExampleDynamicSkyline() {
+	hotels := dataset.Hotels()
+	for _, p := range core.DynamicSkyline(hotels, core.Pt(-1, 10, 80)) {
+		fmt.Println(p)
+	}
+	// Output:
+	// p6[4 88]
+	// p11[11 70]
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func genHDPoints(rng *rand.Rand, n, dim int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		c := make([]float64, dim)
+		for j := range c {
+			c[j] = rng.Float64() * 10
+		}
+		pts[i] = Point{ID: i, Coords: c}
+	}
+	return pts
+}
+
+func TestHDFacades(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := genHDPoints(rng, 6, 3)
+	q := Pt(-1, 5, 5, 5)
+
+	for _, alg := range []string{"", "baseline", "dsg", "scanning"} {
+		d, err := BuildQuadrantHD(pts, 3, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("quadrant %q: %v", alg, err)
+		}
+		ids, err := d.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := geom.SortIDs(geom.IDs(QuadrantSkyline(pts, q)))
+		if !geom.EqualIDSets(toInts(ids), want) {
+			t.Fatalf("quadrant %q: got %v want %v", alg, ids, want)
+		}
+		ps, err := d.QueryPoints(q)
+		if err != nil || len(ps) != len(ids) {
+			t.Fatalf("QueryPoints: %v %v", ps, err)
+		}
+	}
+
+	g, err := BuildGlobalHD(pts, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := g.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.SortIDs(geom.IDs(GlobalSkyline(pts, q)))
+	if !geom.EqualIDSets(toInts(ids), want) {
+		t.Fatalf("global: got %v want %v", ids, want)
+	}
+	if _, err := g.QueryPoints(q); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, alg := range []string{"", "baseline", "subset", "scanning"} {
+		dd, err := BuildDynamicHD(pts[:4], 3, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("dynamic %q: %v", alg, err)
+		}
+		ids, err := dd.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := geom.SortIDs(geom.IDs(DynamicSkyline(pts[:4], q)))
+		if !geom.EqualIDSets(toInts(ids), want) {
+			t.Fatalf("dynamic %q: got %v want %v", alg, ids, want)
+		}
+		if _, err := dd.QueryPoints(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHDFacadeErrors(t *testing.T) {
+	pts := genHDPoints(rand.New(rand.NewSource(2)), 4, 3)
+	if _, err := BuildQuadrantHD(pts, 3, Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+	if _, err := BuildDynamicHD(pts, 3, Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown dynamic algorithm must fail")
+	}
+	if _, err := BuildGlobalHD(pts, 2, Options{}); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+	d, err := BuildQuadrantHD(pts, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Query(Pt(-1, 1, 2)); err == nil {
+		t.Fatal("wrong-dimension query must fail")
+	}
+	if _, err := d.QueryPoints(Pt(-1, 1, 2)); err == nil {
+		t.Fatal("wrong-dimension QueryPoints must fail")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/dyndiag"
+	"repro/internal/geom"
+	"repro/internal/quaddiag"
+)
+
+// Diagrams are expensive to build and cheap to query, so the natural
+// deployment is: build once, serialize, ship to query servers. Save/Load use
+// encoding/gob; the format stores the points and the per-cell results, and
+// the grid is rebuilt deterministically from the points on load.
+
+const (
+	fileMagic    = "skydiag1"
+	kindQuadrant = "quadrant"
+	kindDynamic  = "dynamic"
+)
+
+type diagramFile struct {
+	Magic  string
+	Kind   string
+	Points []geom.Point
+	Cells  [][]int32
+}
+
+// Save serializes the quadrant diagram.
+func (qd *QuadrantDiagram) Save(w io.Writer) error {
+	pts, cells := qd.d.Export()
+	return gob.NewEncoder(w).Encode(diagramFile{
+		Magic: fileMagic, Kind: kindQuadrant, Points: pts, Cells: cells,
+	})
+}
+
+// Save serializes the dynamic diagram.
+func (dd *DynamicDiagram) Save(w io.Writer) error {
+	pts, cells := dd.d.Export()
+	return gob.NewEncoder(w).Encode(diagramFile{
+		Magic: fileMagic, Kind: kindDynamic, Points: pts, Cells: cells,
+	})
+}
+
+func decode(r io.Reader, wantKind string) (*diagramFile, error) {
+	var f diagramFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decode diagram: %w", err)
+	}
+	if f.Magic != fileMagic {
+		return nil, fmt.Errorf("core: not a skyline diagram file (magic %q)", f.Magic)
+	}
+	if f.Kind != wantKind {
+		return nil, fmt.Errorf("core: diagram kind %q, want %q", f.Kind, wantKind)
+	}
+	return &f, nil
+}
+
+// LoadQuadrant deserializes a quadrant diagram saved with Save.
+func LoadQuadrant(r io.Reader) (*QuadrantDiagram, error) {
+	f, err := decode(r, kindQuadrant)
+	if err != nil {
+		return nil, err
+	}
+	d, err := quaddiag.FromCells(f.Points, f.Cells)
+	if err != nil {
+		return nil, err
+	}
+	return &QuadrantDiagram{d: d, byID: indexByID(f.Points)}, nil
+}
+
+// LoadDynamic deserializes a dynamic diagram saved with Save.
+func LoadDynamic(r io.Reader) (*DynamicDiagram, error) {
+	f, err := decode(r, kindDynamic)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dyndiag.FromCells(f.Points, f.Cells)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicDiagram{d: d, byID: indexByID(f.Points)}, nil
+}

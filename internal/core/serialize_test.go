@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func TestQuadrantSaveLoadRoundTrip(t *testing.T) {
+	hotels := dataset.Hotels()
+	d, err := BuildQuadrant(hotels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadQuadrant(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt2(-1, rng.Float64()*35, rng.Float64()*110)
+		a, b := d.Query(q), back.Query(q)
+		if len(a) != len(b) {
+			t.Fatalf("q=%v: %v vs %v", q, a, b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("q=%v: %v vs %v", q, a, b)
+			}
+		}
+	}
+}
+
+func TestDynamicSaveLoadRoundTrip(t *testing.T) {
+	hotels := dataset.Hotels()
+	d, err := BuildDynamic(hotels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDynamic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Query(dataset.HotelQuery())
+	if len(got) != 2 || got[0] != 6 || got[1] != 11 {
+		t.Fatalf("loaded dynamic query = %v", got)
+	}
+}
+
+func TestLoadRejectsWrongKindAndGarbage(t *testing.T) {
+	hotels := dataset.Hotels()
+	d, err := BuildQuadrant(hotels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDynamic(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loading a quadrant file as dynamic must fail")
+	}
+	if _, err := LoadQuadrant(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}

@@ -1,0 +1,248 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{N: 50, Dim: 3, Dist: AntiCorrelated, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config must generate identical datasets")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, dist := range []Distribution{Independent, Correlated, AntiCorrelated, Clustered} {
+		pts, err := Generate(Config{N: 200, Dim: 2, Dist: dist, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		if len(pts) != 200 {
+			t.Fatalf("%v: got %d points", dist, len(pts))
+		}
+		for _, p := range pts {
+			for _, v := range p.Coords {
+				if v < 0 || v >= 1 || math.IsNaN(v) {
+					t.Fatalf("%v: coordinate %g out of [0,1)", dist, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateCorrelationSign(t *testing.T) {
+	corrOf := func(dist Distribution) float64 {
+		pts, err := Generate(Config{N: 3000, Dim: 2, Dist: dist, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sx, sy, sxx, syy, sxy float64
+		for _, p := range pts {
+			x, y := p.X(), p.Y()
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+		}
+		n := float64(len(pts))
+		cov := sxy/n - sx/n*sy/n
+		vx := sxx/n - sx/n*sx/n
+		vy := syy/n - sy/n*sy/n
+		return cov / math.Sqrt(vx*vy)
+	}
+	if r := corrOf(Correlated); r < 0.5 {
+		t.Errorf("correlated r = %.3f, want strongly positive", r)
+	}
+	if r := corrOf(AntiCorrelated); r > -0.3 {
+		t.Errorf("anti-correlated r = %.3f, want clearly negative", r)
+	}
+	if r := corrOf(Independent); math.Abs(r) > 0.1 {
+		t.Errorf("independent r = %.3f, want near zero", r)
+	}
+}
+
+func TestGenerateDomain(t *testing.T) {
+	pts, err := Generate(Config{N: 500, Dim: 2, Dist: Independent, Domain: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		for _, v := range p.Coords {
+			if v != math.Trunc(v) || v < 0 || v > 15 {
+				t.Fatalf("domain coordinate %g not in {0..15}", v)
+			}
+		}
+	}
+	// With 500 points in a 16x16 domain, x values must collide: the limited
+	// domain regime the paper analyses.
+	if xs := geom.SortedAxis(pts, 0); len(xs) > 16 {
+		t.Fatalf("got %d distinct x values in domain 16", len(xs))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{N: -1, Dim: 2}); err == nil {
+		t.Error("negative N must fail")
+	}
+	if _, err := Generate(Config{N: 1, Dim: 0}); err == nil {
+		t.Error("zero dim must fail")
+	}
+	if _, err := Generate(Config{N: 1, Dim: 2, Domain: -3}); err == nil {
+		t.Error("negative domain must fail")
+	}
+	if _, err := Generate(Config{N: 1, Dim: 2, Dist: Distribution(99)}); err == nil {
+		t.Error("unknown distribution must fail")
+	}
+}
+
+func TestGeneralPosition(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt2(0, 5, 5),
+		geom.Pt2(1, 5, 3),
+		geom.Pt2(2, 1, 3),
+		geom.Pt2(3, 7, 9),
+	}
+	fixed := GeneralPosition(pts)
+	if err := geom.CheckGeneralPosition(fixed); err != nil {
+		t.Fatalf("GeneralPosition left ties: %v", err)
+	}
+	// Strict orderings of distinct values must be preserved per axis.
+	for _, axis := range []int{0, 1} {
+		for i := range pts {
+			for j := range pts {
+				if pts[i].Coords[axis] < pts[j].Coords[axis] &&
+					fixed[i].Coords[axis] >= fixed[j].Coords[axis] {
+					t.Fatalf("axis %d order broken between %d and %d", axis, i, j)
+				}
+			}
+		}
+	}
+	// Input untouched.
+	if pts[0].Coords[0] != 5 {
+		t.Fatal("GeneralPosition mutated input")
+	}
+	if GeneralPosition(nil) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestGeneralPositionProperty(t *testing.T) {
+	err := quick.Check(func(raw []uint8) bool {
+		if len(raw)%2 == 1 {
+			raw = raw[:len(raw)-1]
+		}
+		pts := make([]geom.Point, len(raw)/2)
+		for i := range pts {
+			pts[i] = geom.Pt2(i, float64(raw[2*i]%8), float64(raw[2*i+1]%8))
+		}
+		fixed := GeneralPosition(pts)
+		return geom.CheckGeneralPosition(fixed) == nil
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotelsGeneralPosition(t *testing.T) {
+	if err := geom.CheckGeneralPosition(Hotels()); err != nil {
+		t.Fatalf("running example must be in general position: %v", err)
+	}
+	if len(Hotels()) != 11 {
+		t.Fatal("paper's example has 11 hotels")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts, err := Generate(Config{N: 40, Dim: 3, Dist: Independent, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pts, back) {
+		t.Fatal("CSV round trip lost data")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"notanid,1,2\n",
+		"1,abc,2\n",
+		"1,1,2\n2,3\n", // dimension mismatch
+		"1\n",          // no coordinates
+		"1,NaN,2\n",
+		"1,+Inf,2\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail to parse", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	pts, err := ReadCSV(strings.NewReader("# header\n\n7,1,2\n"))
+	if err != nil || len(pts) != 1 || pts[0].ID != 7 {
+		t.Fatalf("comment handling broken: %v %v", pts, err)
+	}
+}
+
+func TestNBALike(t *testing.T) {
+	pts, err := NBALike(300, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 300 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		for j, v := range p.Coords {
+			if v < 0 || v != math.Trunc(v) {
+				t.Fatalf("stat %d = %g not a non-negative integer", j, v)
+			}
+		}
+	}
+	if _, err := NBALike(10, 1, 1); err == nil {
+		t.Error("dim 1 must fail")
+	}
+	if _, err := NBALike(10, 6, 1); err == nil {
+		t.Error("dim 6 must fail")
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for s, want := range map[string]Distribution{
+		"inde": Independent, "CORR": Correlated, "Anti": AntiCorrelated, "clus": Clustered,
+	} {
+		got, err := ParseDistribution(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDistribution(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseDistribution("zipf"); err == nil {
+		t.Error("unknown name must fail")
+	}
+	if Independent.String() != "INDE" || Distribution(42).String() == "" {
+		t.Error("String() broken")
+	}
+}

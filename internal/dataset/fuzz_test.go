@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the parser and that
+// anything it accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2,3\n2,4,5\n")
+	f.Add("# comment\n\n7,1.5,-2e3\n")
+	f.Add("x,y\n")
+	f.Add("1,NaN\n")
+	f.Add("9,1")
+	f.Fuzz(func(t *testing.T, input string) {
+		pts, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, pts); err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded output failed to parse: %v", err)
+		}
+		if len(back) != len(pts) {
+			t.Fatalf("round trip changed point count: %d -> %d", len(pts), len(back))
+		}
+	})
+}
+
+// FuzzGeneralPosition checks the tie-repair invariant on arbitrary small
+// integer datasets: the output is always in general position and preserves
+// the strict per-axis order of the input.
+func FuzzGeneralPosition(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{0, 0, 0, 0, 5, 5})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			return
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		n := len(raw) / 2
+		pts := make([]geom.Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = geom.Pt2(i, float64(raw[2*i]%16), float64(raw[2*i+1]%16))
+		}
+		fixed := GeneralPosition(pts)
+		if err := geom.CheckGeneralPosition(fixed); err != nil {
+			t.Fatalf("ties survive repair: %v", err)
+		}
+		for axis := 0; axis < 2; axis++ {
+			for i := range pts {
+				for j := range pts {
+					if pts[i].Coords[axis] < pts[j].Coords[axis] &&
+						fixed[i].Coords[axis] >= fixed[j].Coords[axis] {
+						t.Fatalf("axis %d order violated between %d and %d", axis, i, j)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package dsg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// BenchmarkBuild compares the direct-link graph construction (the paper's
+// adaptation) with the full transitive graph of its reference [15].
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{200, 800} {
+		rng := rand.New(rand.NewSource(3))
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt2(i, rng.Float64(), rng.Float64())
+		}
+		b.Run(fmt.Sprintf("n=%d/direct", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Build(pts)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/full", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				BuildFull(pts)
+			}
+		})
+	}
+}

@@ -1,0 +1,369 @@
+// Package dyndiag computes the skyline diagram for dynamic skyline queries
+// (Section V of the paper). Because the mapping |p - q| can make a point
+// dominate points in other quadrants, the subdivision needs, in addition to
+// the grid lines through every point, the pairwise bisector lines on each
+// axis: the skyline subcells of Definition 7. Three constructions are
+// provided:
+//
+//   - BuildBaseline — Algorithm 5, O(n^5): one dynamic skyline from scratch
+//     per subcell.
+//   - BuildSubset — Algorithm 6: each subcell's dynamic skyline is a subset
+//     of the global skyline of the cell containing it, so the from-scratch
+//     computation runs over that (much smaller) candidate set.
+//   - BuildScanning — Algorithm 7: incremental left-to-right, bottom-to-top
+//     scan; crossing a subdivision line can only change the dominance
+//     relations of the points "involved" at that line (the pairs whose
+//     bisector lies on it), so the new result is the dynamic skyline of the
+//     previous result plus the involved points.
+//
+// All three tolerate limited integer domains, where coincident bisectors
+// collapse and the subcell count saturates at O(min(s, n^2)^2).
+package dyndiag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/polyomino"
+	"repro/internal/quaddiag"
+	"repro/internal/skyline"
+)
+
+// Diagram is a computed dynamic skyline diagram at subcell granularity.
+type Diagram struct {
+	Points []geom.Point
+	Sub    *grid.SubGrid
+	cells  [][]int32
+	rows   int
+}
+
+func newDiagram(pts []geom.Point, sg *grid.SubGrid) *Diagram {
+	return &Diagram{
+		Points: pts,
+		Sub:    sg,
+		cells:  make([][]int32, sg.Cols()*sg.Rows()),
+		rows:   sg.Rows(),
+	}
+}
+
+// Cell returns the dynamic skyline ids of subcell (i, j), ascending. The
+// slice is owned by the diagram.
+func (d *Diagram) Cell(i, j int) []int32 { return d.cells[i*d.rows+j] }
+
+func (d *Diagram) setCell(i, j int, ids []int32) { d.cells[i*d.rows+j] = ids }
+
+// Query answers a dynamic skyline query by point location: O(log n) plus
+// output size.
+func (d *Diagram) Query(q geom.Point) []int32 {
+	i, j := d.Sub.Locate(q)
+	return d.Cell(i, j)
+}
+
+// Equal reports whether two diagrams assign identical results everywhere.
+func (d *Diagram) Equal(o *Diagram) bool {
+	if d.Sub.Cols() != o.Sub.Cols() || d.Sub.Rows() != o.Sub.Rows() {
+		return false
+	}
+	for k := range d.cells {
+		if !equalIDs(d.cells[k], o.cells[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge groups the subcells into skyline polyominoes.
+func (d *Diagram) Merge() (*polyomino.Partition, error) {
+	return polyomino.MergeCells(d.Sub.Cols(), d.Sub.Rows(), d.Cell)
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func require2D(pts []geom.Point) error {
+	for _, p := range pts {
+		if p.Dim() != 2 {
+			return fmt.Errorf("dyndiag: requires 2-D points, p%d has dimension %d", p.ID, p.Dim())
+		}
+	}
+	return nil
+}
+
+// dynSkyIDs computes the dynamic skyline of cand w.r.t. q as ascending ids.
+func dynSkyIDs(cand []geom.Point, q geom.Point) []int32 {
+	sky := skyline.DynamicSkyline(cand, q)
+	ids := make([]int32, len(sky))
+	for i, p := range sky {
+		ids[i] = int32(p.ID)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	if len(ids) == 0 {
+		return nil
+	}
+	return ids
+}
+
+// dynEntry is one mapped candidate in the scratch evaluator.
+type dynEntry struct {
+	dx, dy float64
+	pos    int32
+}
+
+// dynScratch evaluates dynamic skylines over candidate *positions* without
+// per-call allocation — the inner loop of all three constructions runs once
+// per subcell, so constant factors decide the experiment outcomes.
+type dynScratch struct {
+	pts   []geom.Point
+	ent   []dynEntry
+	out   []int32
+	mark  []int32
+	epoch int32
+}
+
+func newDynScratch(pts []geom.Point) *dynScratch {
+	return &dynScratch{
+		pts:  pts,
+		ent:  make([]dynEntry, 0, len(pts)),
+		out:  make([]int32, 0, len(pts)),
+		mark: make([]int32, len(pts)),
+	}
+}
+
+// begin starts a new candidate set for the query (qx, qy).
+func (s *dynScratch) begin() {
+	s.epoch++
+	s.ent = s.ent[:0]
+}
+
+// add inserts a candidate position, ignoring duplicates within this epoch.
+func (s *dynScratch) add(pos int32, qx, qy float64) {
+	if s.mark[pos] == s.epoch {
+		return
+	}
+	s.mark[pos] = s.epoch
+	p := s.pts[pos]
+	dx := p.X() - qx
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := p.Y() - qy
+	if dy < 0 {
+		dy = -dy
+	}
+	s.ent = append(s.ent, dynEntry{dx: dx, dy: dy, pos: pos})
+}
+
+// skyline computes the dynamic skyline of the current candidates, returning
+// the surviving positions. The slice is reused by the next call.
+func (s *dynScratch) skyline() []int32 {
+	// Insertion sort by (dx, dy): candidate sets are small (previous result
+	// plus the involved points of one line), so this beats sort.Slice.
+	ent := s.ent
+	for i := 1; i < len(ent); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ent[j-1], ent[j]
+			if b.dx < a.dx || (b.dx == a.dx && b.dy < a.dy) {
+				ent[j-1], ent[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	s.out = s.out[:0]
+	var last dynEntry
+	have := false
+	for _, e := range ent {
+		switch {
+		case !have || e.dy < last.dy:
+			s.out = append(s.out, e.pos)
+			last, have = e, true
+		case e.dx == last.dx && e.dy == last.dy:
+			// Mapped duplicate of the last kept candidate: incomparable twin.
+			s.out = append(s.out, e.pos)
+		}
+	}
+	return s.out
+}
+
+// idsOf converts positions to a fresh ascending-id slice. Results are small,
+// so an insertion sort avoids sort.Slice's per-call overhead in the
+// once-per-subcell hot path.
+func (s *dynScratch) idsOf(positions []int32) []int32 {
+	if len(positions) == 0 {
+		return nil
+	}
+	ids := make([]int32, len(positions))
+	for i, pos := range positions {
+		ids[i] = int32(s.pts[pos].ID)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// BuildBaseline computes the dynamic skyline diagram with Algorithm 5: map
+// all n points into the first quadrant of each subcell's representative
+// query and take the traditional skyline, for every subcell.
+func BuildBaseline(pts []geom.Point) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	sg := grid.NewSubGrid(pts)
+	d := newDiagram(pts, sg)
+	sc := newDynScratch(pts)
+	for i := 0; i < sg.Cols(); i++ {
+		for j := 0; j < sg.Rows(); j++ {
+			qx, qy := sg.RepXY(i, j)
+			sc.begin()
+			for pos := range pts {
+				sc.add(int32(pos), qx, qy)
+			}
+			d.setCell(i, j, sc.idsOf(sc.skyline()))
+		}
+	}
+	return d, nil
+}
+
+// Algorithm names a dynamic diagram construction.
+type Algorithm string
+
+// The dynamic diagram constructions.
+const (
+	AlgBaseline Algorithm = "baseline"
+	AlgSubset   Algorithm = "subset"
+	AlgScanning Algorithm = "scanning"
+)
+
+// Build dispatches to the named construction.
+func Build(pts []geom.Point, alg Algorithm) (*Diagram, error) {
+	switch alg {
+	case AlgBaseline:
+		return BuildBaseline(pts)
+	case AlgSubset:
+		return BuildSubset(pts)
+	case AlgScanning:
+		return BuildScanning(pts)
+	default:
+		return nil, fmt.Errorf("dyndiag: unknown algorithm %q", alg)
+	}
+}
+
+// BuildSubset computes the dynamic skyline diagram with Algorithm 6. The
+// dynamic skyline of a subcell is a subset of the global skyline of the
+// skyline cell containing it (mapped points can only dominate more), so the
+// per-subcell computation runs over the global diagram's per-cell result
+// instead of the full dataset: O(n^4 · |global skyline|), amortised
+// O(n^4 log n).
+func BuildSubset(pts []geom.Point) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	gd, err := quaddiag.BuildGlobal(pts, quaddiag.AlgScanning)
+	if err != nil {
+		return nil, err
+	}
+	sg := grid.NewSubGrid(pts)
+	d := newDiagram(pts, sg)
+	posByID := make(map[int32]int32, len(pts))
+	for pos, p := range pts {
+		posByID[int32(p.ID)] = int32(pos)
+	}
+	// Precompute the containing cell column/row per subcell column/row.
+	colOf := make([]int, sg.Cols())
+	for i := range colOf {
+		q := sg.RepresentativeQuery(i, 0)
+		ci, _ := gd.Grid.Locate(q)
+		colOf[i] = ci
+	}
+	rowOf := make([]int, sg.Rows())
+	for j := range rowOf {
+		q := sg.RepresentativeQuery(0, j)
+		_, cj := gd.Grid.Locate(q)
+		rowOf[j] = cj
+	}
+	sc := newDynScratch(pts)
+	for i := 0; i < sg.Cols(); i++ {
+		for j := 0; j < sg.Rows(); j++ {
+			qx, qy := sg.RepXY(i, j)
+			sc.begin()
+			for _, id := range gd.Cell(colOf[i], rowOf[j]) {
+				sc.add(posByID[id], qx, qy)
+			}
+			d.setCell(i, j, sc.idsOf(sc.skyline()))
+		}
+	}
+	return d, nil
+}
+
+// BuildScanning computes the dynamic skyline diagram with Algorithm 7: the
+// lower-left subcell from scratch, every other subcell incrementally from
+// its left (or lower, at row starts) neighbour. Crossing a subdivision line
+// can change dominance only between pairs whose bisector lies on the line,
+// so the new dynamic skyline is exactly the dynamic skyline of
+// (previous result ∪ involved points), evaluated at the new subcell.
+func BuildScanning(pts []geom.Point) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	sg := grid.NewSubGrid(pts)
+	d := newDiagram(pts, sg)
+	if len(pts) == 0 {
+		d.setCell(0, 0, nil)
+		return d, nil
+	}
+	sc := newDynScratch(pts)
+
+	// step computes the skyline positions of subcell (i, j) from a
+	// neighbour's result positions and the involved set of the crossed line.
+	step := func(dst, prev []int32, line grid.Line, i, j int) []int32 {
+		qx, qy := sg.RepXY(i, j)
+		sc.begin()
+		for _, pos := range prev {
+			sc.add(pos, qx, qy)
+		}
+		for _, pos := range line.Involved {
+			sc.add(pos, qx, qy)
+		}
+		return append(dst[:0], sc.skyline()...)
+	}
+
+	// Lower-left subcell from scratch; then double-buffered incremental
+	// steps so the hot loop allocates only the per-cell output.
+	q0x, q0y := sg.RepXY(0, 0)
+	sc.begin()
+	for pos := range pts {
+		sc.add(int32(pos), q0x, q0y)
+	}
+	rowCur := append([]int32(nil), sc.skyline()...)
+	rowAlt := make([]int32, 0, len(pts))
+	cur := make([]int32, 0, len(pts))
+	alt := make([]int32, 0, len(pts))
+	for j := 0; j < sg.Rows(); j++ {
+		if j > 0 {
+			rowAlt = step(rowAlt, rowCur, sg.YLines[j-1], 0, j)
+			rowCur, rowAlt = rowAlt, rowCur
+		}
+		d.setCell(0, j, sc.idsOf(rowCur))
+		cur = append(cur[:0], rowCur...)
+		for i := 1; i < sg.Cols(); i++ {
+			alt = step(alt, cur, sg.XLines[i-1], i, j)
+			cur, alt = alt, cur
+			d.setCell(i, j, sc.idsOf(cur))
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,256 @@
+package dyndiag
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/skyline"
+)
+
+func genPts(rng *rand.Rand, n, domain int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt2(i, float64(rng.Intn(domain)), float64(rng.Intn(domain)))
+	}
+	return pts
+}
+
+func TestBaselineMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		pts := genPts(rng, 2+rng.Intn(7), 20)
+		d, err := BuildBaseline(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < d.Sub.Cols(); i++ {
+			for j := 0; j < d.Sub.Rows(); j++ {
+				q := d.Sub.RepresentativeQuery(i, j)
+				want := dynSkyIDs(pts, q)
+				if !equalIDs(d.Cell(i, j), want) {
+					t.Fatalf("subcell (%d,%d): got %v want %v", i, j, d.Cell(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 12; trial++ {
+		// Mix of tight integer domains (coincident bisectors) and distinct
+		// coordinates via general-position repair.
+		var pts []geom.Point
+		if trial%2 == 0 {
+			pts = genPts(rng, 2+rng.Intn(9), 12)
+		} else {
+			pts = dataset.GeneralPosition(genPts(rng, 2+rng.Intn(9), 200))
+		}
+		base, err := BuildBaseline(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := BuildSubset(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan, err := BuildScanning(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !base.Equal(sub) {
+			t.Fatalf("trial %d: subset diagram differs from baseline", trial)
+		}
+		if !base.Equal(scan) {
+			t.Fatalf("trial %d: scanning diagram differs from baseline", trial)
+		}
+	}
+}
+
+func TestSubcellConstancy(t *testing.T) {
+	// Definition 7: every query inside one subcell has the same dynamic
+	// skyline. Sample random interior points of random subcells.
+	rng := rand.New(rand.NewSource(3))
+	pts := genPts(rng, 8, 16)
+	d, err := BuildBaseline(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 400; trial++ {
+		q := geom.Pt2(-1, rng.Float64()*20-2, rng.Float64()*20-2)
+		i, j := d.Sub.Locate(q)
+		// Skip queries exactly on subdivision lines; only interior queries
+		// carry the subcell's result.
+		r := d.Sub.SubcellRect(i, j)
+		if q.X() == r.Lo[0] || q.Y() == r.Lo[1] {
+			continue
+		}
+		want := dynSkyIDs(pts, q)
+		if !equalIDs(d.Cell(i, j), want) {
+			t.Fatalf("q=%v in subcell (%d,%d): diagram %v oracle %v", q, i, j, d.Cell(i, j), want)
+		}
+	}
+}
+
+func TestQueryMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := genPts(rng, 10, 32)
+	d, err := BuildScanning(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		q := geom.Pt2(-1, rng.Float64()*36-2, rng.Float64()*36-2)
+		i, j := d.Sub.Locate(q)
+		r := d.Sub.SubcellRect(i, j)
+		if q.X() == r.Lo[0] || q.Y() == r.Lo[1] {
+			continue
+		}
+		got := d.Query(q)
+		want := dynSkyIDs(pts, q)
+		if !equalIDs(got, want) {
+			t.Fatalf("q=%v: got %v want %v", q, got, want)
+		}
+	}
+}
+
+func TestDynamicSubsetOfGlobalPerSubcell(t *testing.T) {
+	// The containment Algorithm 6 relies on, verified subcell by subcell.
+	rng := rand.New(rand.NewSource(5))
+	pts := genPts(rng, 7, 16)
+	d, err := BuildBaseline(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Sub.Cols(); i++ {
+		for j := 0; j < d.Sub.Rows(); j++ {
+			q := d.Sub.RepresentativeQuery(i, j)
+			glob := make(map[int]bool)
+			for _, p := range skyline.GlobalSkyline(pts, q) {
+				glob[p.ID] = true
+			}
+			for _, id := range d.Cell(i, j) {
+				if !glob[int(id)] {
+					t.Fatalf("subcell (%d,%d): dynamic point %d not global", i, j, id)
+				}
+			}
+		}
+	}
+}
+
+func TestHotelsDynamicDiagram(t *testing.T) {
+	hotels := dataset.Hotels()
+	d, err := BuildScanning(hotels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Query(dataset.HotelQuery())
+	if !equalIDs(got, []int32{6, 11}) {
+		t.Fatalf("dynamic query = %v, want [6 11]", got)
+	}
+	if _, err := d.Merge(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDispatchAndErrors(t *testing.T) {
+	pts := genPts(rand.New(rand.NewSource(6)), 4, 8)
+	for _, alg := range []Algorithm{AlgBaseline, AlgSubset, AlgScanning} {
+		if _, err := Build(pts, alg); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+	if _, err := Build(pts, Algorithm("nope")); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+	if _, err := BuildBaseline([]geom.Point{geom.Pt(0, 1, 2, 3)}); err == nil {
+		t.Fatal("3-D input must fail")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	for _, alg := range []Algorithm{AlgBaseline, AlgSubset, AlgScanning} {
+		d, err := Build(nil, alg)
+		if err != nil {
+			t.Fatalf("%s empty: %v", alg, err)
+		}
+		if d.Sub.NumSubcells() != 1 || len(d.Cell(0, 0)) != 0 {
+			t.Fatalf("%s: empty dataset should give one empty subcell", alg)
+		}
+		one := []geom.Point{geom.Pt2(3, 5, 5)}
+		d, err = Build(one, alg)
+		if err != nil {
+			t.Fatalf("%s single: %v", alg, err)
+		}
+		// A single point is the dynamic skyline everywhere.
+		for i := 0; i < d.Sub.Cols(); i++ {
+			for j := 0; j < d.Sub.Rows(); j++ {
+				if got := d.Cell(i, j); len(got) != 1 || got[0] != 3 {
+					t.Fatalf("%s: subcell (%d,%d) = %v", alg, i, j, got)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildSubsetParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 4; trial++ {
+		var pts []geom.Point
+		if trial%2 == 0 {
+			pts = genPts(rng, 2+rng.Intn(10), 16)
+		} else {
+			pts = dataset.GeneralPosition(genPts(rng, 2+rng.Intn(10), 500))
+		}
+		serial, err := BuildSubset(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 4} {
+			par, err := BuildSubsetParallel(pts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !serial.Equal(par) {
+				t.Fatalf("trial %d workers=%d: parallel subset differs", trial, workers)
+			}
+		}
+	}
+	if _, err := BuildSubsetParallel([]geom.Point{geom.Pt(0, 1, 2, 3)}, 2); err == nil {
+		t.Fatal("3-D input must fail")
+	}
+}
+
+func TestBuildScanningParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 4; trial++ {
+		var pts []geom.Point
+		if trial%2 == 0 {
+			pts = genPts(rng, 2+rng.Intn(10), 16)
+		} else {
+			pts = dataset.GeneralPosition(genPts(rng, 2+rng.Intn(10), 500))
+		}
+		serial, err := BuildScanning(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 4} {
+			par, err := BuildScanningParallel(pts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !serial.Equal(par) {
+				t.Fatalf("trial %d workers=%d: parallel scanning differs", trial, workers)
+			}
+		}
+	}
+	empty, err := BuildScanningParallel(nil, 2)
+	if err != nil || empty.Sub.NumSubcells() != 1 {
+		t.Fatalf("empty parallel scanning: %v %v", empty, err)
+	}
+	if _, err := BuildScanningParallel([]geom.Point{geom.Pt(0, 1, 2, 3)}, 2); err == nil {
+		t.Fatal("3-D input must fail")
+	}
+}

@@ -1,0 +1,242 @@
+package dyndiag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/quaddiag"
+)
+
+// HDDiagram is the d-dimensional dynamic skyline diagram: the dynamic
+// skyline of every hyper-subcell of the bisector subdivision (the Section V
+// construction generalised to d dimensions, as the paper sketches).
+type HDDiagram struct {
+	Points []geom.Point
+	Sub    *grid.HyperSubGrid
+	cells  [][]int32
+}
+
+// Cell returns the dynamic skyline ids of the subcell with per-axis indices
+// idx, ascending.
+func (d *HDDiagram) Cell(idx []int) []int32 { return d.cells[d.Sub.Flatten(idx)] }
+
+// Query answers a dynamic skyline query by point location.
+func (d *HDDiagram) Query(q geom.Point) ([]int32, error) {
+	idx, err := d.Sub.Locate(q)
+	if err != nil {
+		return nil, err
+	}
+	return d.Cell(idx), nil
+}
+
+// Equal reports whether two HD diagrams assign identical results everywhere.
+func (d *HDDiagram) Equal(o *HDDiagram) bool {
+	if len(d.cells) != len(o.cells) {
+		return false
+	}
+	for k := range d.cells {
+		if !equalIDs(d.cells[k], o.cells[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+func checkHD(pts []geom.Point, dim int) error {
+	if dim < 2 {
+		return fmt.Errorf("dyndiag: dimension %d < 2", dim)
+	}
+	for _, p := range pts {
+		if p.Dim() != dim {
+			return fmt.Errorf("dyndiag: p%d has dimension %d, expected %d", p.ID, p.Dim(), dim)
+		}
+	}
+	return nil
+}
+
+// dynSkyHD computes the dynamic skyline of the candidate positions w.r.t.
+// query q, returning surviving positions. Plain O(k^2) dominance filtering:
+// HD candidate sets are small and this code exists for correctness, not
+// scale.
+func dynSkyHD(pts []geom.Point, cand []int32, q geom.Point, mapped [][]float64) []int32 {
+	for _, pos := range cand {
+		m := mapped[pos]
+		for a, v := range pts[pos].Coords {
+			m[a] = math.Abs(v - q.Coords[a])
+		}
+	}
+	var out []int32
+	for _, c := range cand {
+		dominated := false
+		for _, p := range cand {
+			if p != c && geom.DominatesCoords(mapped[p], mapped[c]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BuildBaselineHD computes the d-dimensional dynamic diagram from scratch
+// per subcell — the Algorithm 5 generalisation. O(subcells · n^2 · d).
+func BuildBaselineHD(pts []geom.Point, dim int) (*HDDiagram, error) {
+	if err := checkHD(pts, dim); err != nil {
+		return nil, err
+	}
+	sg := grid.NewHyperSubGrid(pts, dim)
+	d := &HDDiagram{Points: pts, Sub: sg, cells: make([][]int32, sg.NumSubcells())}
+	all := make([]int32, len(pts))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	mapped := makeMapped(pts, dim)
+	for off := 0; off < sg.NumSubcells(); off++ {
+		idx := sg.Unflatten(off)
+		q := sg.RepQuery(idx)
+		d.cells[off] = idsOfPositions(pts, dynSkyHD(pts, all, q, mapped))
+	}
+	return d, nil
+}
+
+// BuildScanningHD computes the d-dimensional dynamic diagram incrementally —
+// the Algorithm 7 generalisation. Every subcell except the origin is derived
+// from its predecessor along the last non-zero axis: crossing one axis-a
+// subdivision line can change dominance only among the points involved at
+// that line, so the new result is the dynamic skyline of (neighbour result ∪
+// involved points). Row-major processing guarantees the predecessor is
+// already computed.
+func BuildScanningHD(pts []geom.Point, dim int) (*HDDiagram, error) {
+	if err := checkHD(pts, dim); err != nil {
+		return nil, err
+	}
+	sg := grid.NewHyperSubGrid(pts, dim)
+	d := &HDDiagram{Points: pts, Sub: sg, cells: make([][]int32, sg.NumSubcells())}
+	if len(pts) == 0 {
+		d.cells[0] = nil
+		return d, nil
+	}
+	posByID := make(map[int32]int32, len(pts))
+	for pos, p := range pts {
+		posByID[int32(p.ID)] = int32(pos)
+	}
+	mapped := makeMapped(pts, dim)
+	seen := make([]int32, len(pts))
+	var epoch int32
+	cand := make([]int32, 0, len(pts))
+
+	for off := 0; off < sg.NumSubcells(); off++ {
+		idx := sg.Unflatten(off)
+		q := sg.RepQuery(idx)
+		if off == 0 {
+			all := make([]int32, len(pts))
+			for i := range all {
+				all[i] = int32(i)
+			}
+			d.cells[0] = idsOfPositions(pts, dynSkyHD(pts, all, q, mapped))
+			continue
+		}
+		// Predecessor along the last axis with a non-zero index.
+		axis := dim - 1
+		for idx[axis] == 0 {
+			axis--
+		}
+		idx[axis]--
+		prev := d.cells[sg.Flatten(idx)]
+		line := sg.Lines[axis][idx[axis]]
+		idx[axis]++
+
+		epoch++
+		cand = cand[:0]
+		for _, id := range prev {
+			pos := posByID[id]
+			if seen[pos] != epoch {
+				seen[pos] = epoch
+				cand = append(cand, pos)
+			}
+		}
+		for _, pos := range line.Involved {
+			if seen[pos] != epoch {
+				seen[pos] = epoch
+				cand = append(cand, pos)
+			}
+		}
+		d.cells[off] = idsOfPositions(pts, dynSkyHD(pts, cand, q, mapped))
+	}
+	return d, nil
+}
+
+// BuildSubsetHD computes the d-dimensional dynamic diagram with the
+// Algorithm 6 generalisation: per subcell, candidates are restricted to the
+// global skyline of the containing hyper-cell, obtained from a global HD
+// diagram (built with the DSG orthant construction, the fastest HD one).
+func BuildSubsetHD(pts []geom.Point, dim int) (*HDDiagram, error) {
+	if err := checkHD(pts, dim); err != nil {
+		return nil, err
+	}
+	sg := grid.NewHyperSubGrid(pts, dim)
+	d := &HDDiagram{Points: pts, Sub: sg, cells: make([][]int32, sg.NumSubcells())}
+	if len(pts) == 0 {
+		d.cells[0] = nil
+		return d, nil
+	}
+	// DSG is the fastest orthant construction but assumes general position;
+	// tied inputs (limited domains, duplicates) fall back to the baseline.
+	alg := quaddiag.HDAlgDSG
+	if geom.CheckGeneralPosition(pts) != nil {
+		alg = quaddiag.HDAlgBaseline
+	}
+	gd, err := quaddiag.BuildGlobalHD(pts, dim, alg)
+	if err != nil {
+		return nil, err
+	}
+	posByID := make(map[int32]int32, len(pts))
+	for pos, p := range pts {
+		posByID[int32(p.ID)] = int32(pos)
+	}
+	mapped := makeMapped(pts, dim)
+	cand := make([]int32, 0, len(pts))
+	cellIdx := make([]int, dim)
+	for off := 0; off < sg.NumSubcells(); off++ {
+		idx := sg.Unflatten(off)
+		q := sg.RepQuery(idx)
+		ci, err := gd.Grid.Locate(q)
+		if err != nil {
+			return nil, err
+		}
+		copy(cellIdx, ci)
+		cand = cand[:0]
+		for _, id := range gd.Cell(cellIdx) {
+			cand = append(cand, posByID[id])
+		}
+		d.cells[off] = idsOfPositions(pts, dynSkyHD(pts, cand, q, mapped))
+	}
+	return d, nil
+}
+
+func makeMapped(pts []geom.Point, dim int) [][]float64 {
+	mapped := make([][]float64, len(pts))
+	backing := make([]float64, len(pts)*dim)
+	for i := range mapped {
+		mapped[i], backing = backing[:dim:dim], backing[dim:]
+	}
+	return mapped
+}
+
+func idsOfPositions(pts []geom.Point, positions []int32) []int32 {
+	if len(positions) == 0 {
+		return nil
+	}
+	ids := make([]int32, len(positions))
+	for i, pos := range positions {
+		ids[i] = int32(pts[pos].ID)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}

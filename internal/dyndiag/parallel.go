@@ -1,0 +1,148 @@
+package dyndiag
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/quaddiag"
+)
+
+// BuildScanningParallel is BuildScanning with rows processed concurrently:
+// the chain of row-start results (crossing horizontal lines upward) is
+// inherently sequential, but once every row's first subcell is known, each
+// row's left-to-right scan is independent of every other row. workers <= 0
+// selects GOMAXPROCS. Output is identical to BuildScanning.
+func BuildScanningParallel(pts []geom.Point, workers int) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sg := grid.NewSubGrid(pts)
+	d := newDiagram(pts, sg)
+	if len(pts) == 0 {
+		d.setCell(0, 0, nil)
+		return d, nil
+	}
+
+	// Phase 1 (sequential): the row-start chain.
+	sc := newDynScratch(pts)
+	q0x, q0y := sg.RepXY(0, 0)
+	sc.begin()
+	for pos := range pts {
+		sc.add(int32(pos), q0x, q0y)
+	}
+	rowStarts := make([][]int32, sg.Rows())
+	rowStarts[0] = append([]int32(nil), sc.skyline()...)
+	for j := 1; j < sg.Rows(); j++ {
+		qx, qy := sg.RepXY(0, j)
+		sc.begin()
+		for _, pos := range rowStarts[j-1] {
+			sc.add(pos, qx, qy)
+		}
+		for _, pos := range sg.YLines[j-1].Involved {
+			sc.add(pos, qx, qy)
+		}
+		rowStarts[j] = append([]int32(nil), sc.skyline()...)
+	}
+
+	// Phase 2 (parallel): sweep each row independently.
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wsc := newDynScratch(pts)
+			var cur, alt []int32
+			for j := range rows {
+				cur = append(cur[:0], rowStarts[j]...)
+				d.setCell(0, j, wsc.idsOf(cur))
+				for i := 1; i < sg.Cols(); i++ {
+					qx, qy := sg.RepXY(i, j)
+					wsc.begin()
+					for _, pos := range cur {
+						wsc.add(pos, qx, qy)
+					}
+					for _, pos := range sg.XLines[i-1].Involved {
+						wsc.add(pos, qx, qy)
+					}
+					alt = append(alt[:0], wsc.skyline()...)
+					cur, alt = alt, cur
+					d.setCell(i, j, wsc.idsOf(cur))
+				}
+			}
+		}()
+	}
+	for j := 0; j < sg.Rows(); j++ {
+		rows <- j
+	}
+	close(rows)
+	wg.Wait()
+	return d, nil
+}
+
+// BuildSubsetParallel is BuildSubset with the per-subcell work sharded
+// across workers by subcell column — every subcell's computation reads only
+// the (immutable) global diagram and writes its own cell, so the
+// construction is embarrassingly parallel. workers <= 0 selects GOMAXPROCS.
+// Output is identical to BuildSubset.
+func BuildSubsetParallel(pts []geom.Point, workers int) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	gd, err := quaddiag.BuildGlobal(pts, quaddiag.AlgScanning)
+	if err != nil {
+		return nil, err
+	}
+	sg := grid.NewSubGrid(pts)
+	d := newDiagram(pts, sg)
+	posByID := make(map[int32]int32, len(pts))
+	for pos, p := range pts {
+		posByID[int32(p.ID)] = int32(pos)
+	}
+	colOf := make([]int, sg.Cols())
+	for i := range colOf {
+		q := sg.RepresentativeQuery(i, 0)
+		ci, _ := gd.Grid.Locate(q)
+		colOf[i] = ci
+	}
+	rowOf := make([]int, sg.Rows())
+	for j := range rowOf {
+		q := sg.RepresentativeQuery(0, j)
+		_, cj := gd.Grid.Locate(q)
+		rowOf[j] = cj
+	}
+
+	cols := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newDynScratch(pts) // per-worker scratch: no contention
+			for i := range cols {
+				for j := 0; j < sg.Rows(); j++ {
+					qx, qy := sg.RepXY(i, j)
+					sc.begin()
+					for _, id := range gd.Cell(colOf[i], rowOf[j]) {
+						sc.add(posByID[id], qx, qy)
+					}
+					d.setCell(i, j, sc.idsOf(sc.skyline()))
+				}
+			}
+		}()
+	}
+	for i := 0; i < sg.Cols(); i++ {
+		cols <- i
+	}
+	close(cols)
+	wg.Wait()
+	return d, nil
+}

@@ -1,0 +1,30 @@
+package dyndiag
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Export returns the diagram's points and per-subcell results (row-major,
+// cells[i*rows+j]) for serialization. The slices are the diagram's own;
+// callers must treat them as read-only.
+func (d *Diagram) Export() (pts []geom.Point, cells [][]int32) {
+	return d.Points, d.cells
+}
+
+// FromCells reconstructs a Diagram from serialized state: the original
+// points and the row-major per-subcell results.
+func FromCells(pts []geom.Point, cells [][]int32) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	sg := grid.NewSubGrid(pts)
+	if len(cells) != sg.NumSubcells() {
+		return nil, fmt.Errorf("dyndiag: %d subcells for a %dx%d subgrid", len(cells), sg.Cols(), sg.Rows())
+	}
+	d := newDiagram(pts, sg)
+	copy(d.cells, cells)
+	return d, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/svgplot"
+)
+
+// Chart converts an experiment table into line-chart series, so skybench can
+// regenerate the paper's *figures* and not just its tables. The x axis is
+// the table's sweep column (n, s, or d); each *_ms / *_us measurement column
+// becomes one series per distinct combination of the leading label columns
+// (e.g. "CORR/baseline"). Tables without a sweep column (E6, E9) have no
+// figure form and return ok == false.
+func (t Table) Chart() (opt svgplot.ChartOptions, series []svgplot.Series, ok bool) {
+	xCol := -1
+	for i, h := range t.Header {
+		if h == "n" || h == "s" || h == "d" {
+			xCol = i
+			break
+		}
+	}
+	if xCol == -1 || len(t.Rows) == 0 {
+		return opt, nil, false
+	}
+	var valueCols []int
+	for i, h := range t.Header {
+		if strings.HasSuffix(h, "_ms") || strings.Contains(h, "_us_per_q") {
+			valueCols = append(valueCols, i)
+		}
+	}
+	if len(valueCols) == 0 {
+		return opt, nil, false
+	}
+	// Label columns: every non-numeric column before the x column.
+	var labelCols []int
+	for i := 0; i < xCol; i++ {
+		if _, err := strconv.ParseFloat(t.Rows[0][i], 64); err != nil {
+			labelCols = append(labelCols, i)
+		}
+	}
+
+	type key struct {
+		group string
+		col   int
+	}
+	index := map[key]int{}
+	for _, row := range t.Rows {
+		x, err := strconv.ParseFloat(row[xCol], 64)
+		if err != nil {
+			continue
+		}
+		var parts []string
+		for _, lc := range labelCols {
+			parts = append(parts, row[lc])
+		}
+		group := strings.Join(parts, "/")
+		for _, vc := range valueCols {
+			y, err := strconv.ParseFloat(row[vc], 64)
+			if err != nil {
+				continue // "-" entries: measurement not applicable
+			}
+			label := strings.TrimSuffix(t.Header[vc], "_ms")
+			label = strings.TrimSuffix(label, "_us_per_q")
+			if group != "" {
+				label = group + "/" + label
+			}
+			k := key{group: label, col: vc}
+			si, found := index[k]
+			if !found {
+				si = len(series)
+				index[k] = si
+				series = append(series, svgplot.Series{Label: label})
+			}
+			series[si].X = append(series[si].X, x)
+			series[si].Y = append(series[si].Y, y)
+		}
+	}
+	if len(series) == 0 {
+		return opt, nil, false
+	}
+	yLabel := "time (ms)"
+	if strings.Contains(t.Header[valueCols[0]], "_us_per_q") {
+		yLabel = "time per query (µs)"
+	}
+	opt = svgplot.ChartOptions{
+		Title:  fmt.Sprintf("%s: %s", t.ID, t.Title),
+		XLabel: t.Header[xCol],
+		YLabel: yLabel,
+		LogY:   true,
+	}
+	return opt, series, true
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment suite still takes a few seconds")
+	}
+	c := Config{Quick: true}
+	tables := All(c)
+	if len(tables) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s: row %v does not match header %v", tab.ID, row, tab.Header)
+			}
+		}
+		out := tab.Format()
+		if !strings.Contains(out, tab.ID) || !strings.Contains(out, tab.Header[0]) {
+			t.Errorf("%s: Format output malformed:\n%s", tab.ID, out)
+		}
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	for _, id := range IDs() {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%s) not found", id)
+		}
+	}
+	if _, ok := ByID("e6"); !ok {
+		t.Error("ByID must be case-insensitive")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("unknown id must fail")
+	}
+}
+
+func TestGenHelpersDeterministic(t *testing.T) {
+	a := GenQuadrant(1, 30, 7)
+	b := GenQuadrant(1, 30, 7)
+	for i := range a {
+		if a[i].X() != b[i].X() || a[i].Y() != b[i].Y() {
+			t.Fatal("GenQuadrant not deterministic")
+		}
+	}
+	d := GenDomain(0, 50, 8, 7)
+	for _, p := range d {
+		if p.X() < 0 || p.X() > 7 {
+			t.Fatal("GenDomain out of range")
+		}
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	if got := ms(1500 * time.Microsecond); got != "1.50" {
+		t.Fatalf("ms = %q", got)
+	}
+}
+
+func TestTableChart(t *testing.T) {
+	tab := Table{
+		ID:     "E1",
+		Title:  "demo",
+		Header: []string{"dist", "n", "baseline_ms", "scanning_ms"},
+		Rows: [][]string{
+			{"CORR", "100", "5.00", "1.00"},
+			{"CORR", "200", "30.00", "7.00"},
+			{"ANTI", "100", "4.00", "-"},
+			{"ANTI", "200", "25.00", "8.00"},
+		},
+	}
+	opt, series, ok := tab.Chart()
+	if !ok {
+		t.Fatal("chartable table rejected")
+	}
+	if opt.XLabel != "n" || !opt.LogY {
+		t.Fatalf("options = %+v", opt)
+	}
+	// CORR/baseline, CORR/scanning, ANTI/baseline, ANTI/scanning.
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if s.Label == "ANTI/scanning" && len(s.X) != 1 {
+			t.Fatalf("'-' measurement should be skipped: %+v", s)
+		}
+	}
+	// Non-sweep tables are not chartable.
+	flat := Table{ID: "E9", Header: []string{"task", "algorithm", "time_ms"},
+		Rows: [][]string{{"a", "b", "1.0"}}}
+	if _, _, ok := flat.Chart(); ok {
+		t.Fatal("table without a sweep column must not chart")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := Table{ID: "E0", Title: "demo", Expected: "x",
+		Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	md := tab.Markdown()
+	for _, want := range []string{"## E0", "| a | b |", "|---|---|", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

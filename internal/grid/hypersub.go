@@ -1,0 +1,95 @@
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// HyperSubGrid is the d-dimensional skyline-subcell subdivision: per axis,
+// the distinct values among all point coordinates and all pairwise
+// midpoints, each annotated with its involved point set — the structure the
+// high-dimensional dynamic skyline diagram is built on (Section V's
+// extension).
+type HyperSubGrid struct {
+	Points []geom.Point
+	Lines  [][]Line // per axis, sorted by V
+	vals   [][]float64
+}
+
+// NewHyperSubGrid builds the subdivision for dim-dimensional points.
+func NewHyperSubGrid(pts []geom.Point, dim int) *HyperSubGrid {
+	sg := &HyperSubGrid{
+		Points: pts,
+		Lines:  make([][]Line, dim),
+		vals:   make([][]float64, dim),
+	}
+	for a := 0; a < dim; a++ {
+		sg.Lines[a] = buildLines(pts, a)
+		sg.vals[a] = lineValues(sg.Lines[a])
+	}
+	return sg
+}
+
+// Dim returns the dimensionality.
+func (sg *HyperSubGrid) Dim() int { return len(sg.Lines) }
+
+// Shape returns the number of subcells per axis.
+func (sg *HyperSubGrid) Shape() []int {
+	s := make([]int, sg.Dim())
+	for a := range s {
+		s[a] = len(sg.vals[a]) + 1
+	}
+	return s
+}
+
+// NumSubcells returns the total subcell count.
+func (sg *HyperSubGrid) NumSubcells() int {
+	total := 1
+	for _, vs := range sg.vals {
+		total *= len(vs) + 1
+	}
+	return total
+}
+
+// Locate returns the per-axis subcell indices containing q.
+func (sg *HyperSubGrid) Locate(q geom.Point) ([]int, error) {
+	if q.Dim() != sg.Dim() {
+		return nil, fmt.Errorf("grid: query dimension %d, subgrid dimension %d", q.Dim(), sg.Dim())
+	}
+	idx := make([]int, sg.Dim())
+	for a := range idx {
+		idx[a] = locate(sg.vals[a], q.Coords[a])
+	}
+	return idx, nil
+}
+
+// RepQuery returns an interior representative query of the subcell idx.
+func (sg *HyperSubGrid) RepQuery(idx []int) geom.Point {
+	c := make([]float64, sg.Dim())
+	for a, i := range idx {
+		c[a] = repCoord(sg.vals[a], i)
+	}
+	return geom.Point{ID: -1, Coords: c}
+}
+
+// Flatten converts per-axis indices to a row-major offset (last axis
+// fastest).
+func (sg *HyperSubGrid) Flatten(idx []int) int {
+	off := 0
+	for a, i := range idx {
+		off = off*(len(sg.vals[a])+1) + i
+	}
+	return off
+}
+
+// Unflatten converts a row-major offset back to per-axis indices.
+func (sg *HyperSubGrid) Unflatten(off int) []int {
+	idx := make([]int, sg.Dim())
+	for a := sg.Dim() - 1; a >= 0; a-- {
+		size := len(sg.vals[a]) + 1
+		idx[a] = off % size
+		off /= size
+	}
+	return idx
+}

@@ -1,0 +1,231 @@
+// Package kskyband extends the skyline diagram to k-skyband queries, the
+// skyline counterpart of the k-th-order Voronoi diagram the paper invokes as
+// its model ("similarly, k-th-order Voronoi diagram can be built for kNN
+// queries (k > 1)", Section I).
+//
+// The k-skyband of a point set is every point dominated by fewer than k
+// others; k = 1 is the skyline. Exactly as for the skyline, the quadrant
+// k-skyband result is constant inside each skyline cell — the candidate set
+// and the dominance relation among candidates are fixed there — so the same
+// grid supports a k-skyband diagram, with polyominoes that are finer the
+// larger k is (more of the dominance structure becomes visible in the
+// result).
+package kskyband
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/polyomino"
+)
+
+// Of returns the k-skyband of pts: every point dominated by fewer than k
+// others. k <= 0 yields nil; k = 1 is the skyline. O(n^2 d) reference
+// implementation valid in any dimension, with ties.
+func Of(pts []geom.Point, k int) []geom.Point {
+	if k <= 0 {
+		return nil
+	}
+	var out []geom.Point
+	for i, p := range pts {
+		dominators := 0
+		for j, q := range pts {
+			if i != j && geom.Dominates(q, p) {
+				dominators++
+				if dominators >= k {
+					break
+				}
+			}
+		}
+		if dominators < k {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Band2DSorted computes the k-skyband of 2-D points sorted ascending by x
+// (ties by y) in O(n·k): scanning in x order, a point's dominator count is
+// the number of earlier points with smaller y, which is exact whenever it is
+// below k because those dominators are necessarily among the k smallest y
+// values seen so far. Requires distinct coordinates per axis (general
+// position); callers with ties use Of.
+func Band2DSorted(sorted []geom.Point, k int) []geom.Point {
+	if k <= 0 {
+		return nil
+	}
+	best := make([]float64, 0, k) // k smallest y's so far, ascending
+	var out []geom.Point
+	for _, p := range sorted {
+		m := sort.SearchFloat64s(best, p.Y())
+		if m < k {
+			out = append(out, p)
+		}
+		if len(best) < k {
+			best = append(best, 0)
+			copy(best[m+1:], best[m:])
+			best[m] = p.Y()
+		} else if m < k {
+			copy(best[m+1:], best[m:k-1])
+			best[m] = p.Y()
+		}
+	}
+	return out
+}
+
+// Diagram is a k-skyband diagram at skyline-cell granularity: the quadrant
+// k-skyband result of every cell.
+type Diagram struct {
+	Points []geom.Point
+	Grid   *grid.Grid
+	K      int
+	cells  [][]int32
+	rows   int
+}
+
+// Build computes the k-skyband diagram. For each cell the strict-quadrant
+// candidates are scanned in the globally sorted x order and filtered with
+// Band2DSorted's counting argument; inputs with ties fall back to the
+// quadratic reference per cell. O(n^3 + n^2·k) in general position.
+func Build(pts []geom.Point, k int) (*Diagram, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("kskyband: k must be positive, got %d", k)
+	}
+	for _, p := range pts {
+		if p.Dim() != 2 {
+			return nil, fmt.Errorf("kskyband: requires 2-D points, p%d has dimension %d", p.ID, p.Dim())
+		}
+	}
+	g := grid.NewGrid(pts)
+	d := &Diagram{
+		Points: pts,
+		Grid:   g,
+		K:      k,
+		cells:  make([][]int32, g.NumCells()),
+		rows:   g.Rows(),
+	}
+	generalPosition := geom.CheckGeneralPosition(pts) == nil
+
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].X() != sorted[b].X() {
+			return sorted[a].X() < sorted[b].X()
+		}
+		return sorted[a].Y() < sorted[b].Y()
+	})
+
+	cand := make([]geom.Point, 0, len(pts))
+	for i := 0; i < g.Cols(); i++ {
+		for j := 0; j < g.Rows(); j++ {
+			cx, cy := g.Corner(i, j)
+			cand = cand[:0]
+			for _, p := range sorted {
+				if p.X() > cx && p.Y() > cy {
+					cand = append(cand, p)
+				}
+			}
+			var band []geom.Point
+			if generalPosition {
+				band = Band2DSorted(cand, k)
+			} else {
+				band = Of(cand, k)
+			}
+			ids := make([]int32, len(band))
+			for t, p := range band {
+				ids[t] = int32(p.ID)
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			if len(ids) == 0 {
+				ids = nil
+			}
+			d.cells[i*d.rows+j] = ids
+		}
+	}
+	return d, nil
+}
+
+// Cell returns the k-skyband ids of cell (i, j), ascending.
+func (d *Diagram) Cell(i, j int) []int32 { return d.cells[i*d.rows+j] }
+
+// Query answers a quadrant k-skyband query by point location.
+func (d *Diagram) Query(q geom.Point) []int32 {
+	i, j := d.Grid.Locate(q)
+	return d.Cell(i, j)
+}
+
+// Merge groups the diagram's cells into its polyominoes.
+func (d *Diagram) Merge() (*polyomino.Partition, error) {
+	return polyomino.MergeCells(d.Grid.Cols(), d.Grid.Rows(), d.Cell)
+}
+
+// HDDiagram is the d-dimensional k-skyband diagram: per hyper-cell, the
+// first-orthant k-skyband.
+type HDDiagram struct {
+	Points []geom.Point
+	Grid   *grid.HyperGrid
+	K      int
+	cells  [][]int32
+}
+
+// BuildHD computes the d-dimensional k-skyband diagram from scratch per
+// hyper-cell. O(n^d · n^2) reference construction; exists for completeness
+// alongside the quadrant HD diagrams.
+func BuildHD(pts []geom.Point, dim, k int) (*HDDiagram, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("kskyband: k must be positive, got %d", k)
+	}
+	if dim < 2 {
+		return nil, fmt.Errorf("kskyband: dimension %d < 2", dim)
+	}
+	for _, p := range pts {
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("kskyband: p%d has dimension %d, expected %d", p.ID, p.Dim(), dim)
+		}
+	}
+	hg := grid.NewHyperGrid(pts, dim)
+	d := &HDDiagram{Points: pts, Grid: hg, K: k, cells: make([][]int32, hg.NumCells())}
+	cand := make([]geom.Point, 0, len(pts))
+	for off := 0; off < hg.NumCells(); off++ {
+		corner := hg.Corner(hg.Unflatten(off))
+		cand = cand[:0]
+		for _, p := range pts {
+			ok := true
+			for a, v := range corner {
+				if p.Coords[a] <= v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cand = append(cand, p)
+			}
+		}
+		band := Of(cand, k)
+		ids := make([]int32, len(band))
+		for t, p := range band {
+			ids[t] = int32(p.ID)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		if len(ids) == 0 {
+			ids = nil
+		}
+		d.cells[off] = ids
+	}
+	return d, nil
+}
+
+// Cell returns the k-skyband ids of the hyper-cell idx, ascending.
+func (d *HDDiagram) Cell(idx []int) []int32 { return d.cells[d.Grid.Flatten(idx)] }
+
+// Query answers a first-orthant k-skyband query by point location.
+func (d *HDDiagram) Query(q geom.Point) ([]int32, error) {
+	idx, err := d.Grid.Locate(q)
+	if err != nil {
+		return nil, err
+	}
+	return d.Cell(idx), nil
+}

@@ -1,0 +1,156 @@
+// Package pir implements private skyline queries over a precomputed skyline
+// diagram — the third application the paper lists (Section I): "enable
+// efficient Private Information Retrieval (PIR) based skyline queries,
+// similar to using Voronoi diagram for PIR based kNN queries".
+//
+// The diagram reduces a skyline query to a table lookup (cell index →
+// result), which is exactly the shape PIR protocols retrieve privately. The
+// scheme here is classic two-server information-theoretic PIR (Chor et al.):
+// the diagram's cell table is replicated on two non-colluding servers; the
+// client sends each server a random-looking subset of cell indices whose
+// symmetric difference is the target cell; each server XORs the requested
+// records; the client XORs the two responses to recover the record. Each
+// individual server's view is a uniformly random subset, independent of the
+// queried cell.
+//
+// Records are fixed-size encodings of per-cell skyline results, padded to
+// the diagram's maximum result size so record length leaks nothing.
+package pir
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Record is a fixed-size encoding of one cell's skyline result.
+type Record []byte
+
+// Server is one of the two replicated PIR servers: it holds the public cell
+// table and answers subset-XOR queries. It never learns which cell the
+// client wants.
+type Server struct {
+	records []Record
+	recLen  int
+}
+
+// Database builds the replicated cell table from a quadrant diagram: record
+// k encodes the ids of cell k (row-major), length-prefixed and zero-padded
+// to the maximum result size.
+func Database(d *core.QuadrantDiagram) (*Server, error) {
+	g := d.Grid()
+	cols, rows := g.Cols(), g.Rows()
+	max := 0
+	for i := 0; i < cols; i++ {
+		for j := 0; j < rows; j++ {
+			if n := len(d.Cells().Cell(i, j)); n > max {
+				max = n
+			}
+		}
+	}
+	recLen := 4 + 4*max
+	s := &Server{recLen: recLen, records: make([]Record, cols*rows)}
+	for i := 0; i < cols; i++ {
+		for j := 0; j < rows; j++ {
+			ids := d.Cells().Cell(i, j)
+			rec := make(Record, recLen)
+			binary.BigEndian.PutUint32(rec, uint32(len(ids)))
+			for k, id := range ids {
+				binary.BigEndian.PutUint32(rec[4+4*k:], uint32(id))
+			}
+			s.records[i*rows+j] = rec
+		}
+	}
+	return s, nil
+}
+
+// NumRecords returns the table size.
+func (s *Server) NumRecords() int { return len(s.records) }
+
+// RecordLen returns the fixed record length in bytes.
+func (s *Server) RecordLen() int { return s.recLen }
+
+// Answer XORs the records selected by the query bit-vector.
+func (s *Server) Answer(query []byte) (Record, error) {
+	if len(query) != (len(s.records)+7)/8 {
+		return nil, fmt.Errorf("pir: query length %d, want %d bits", len(query)*8, len(s.records))
+	}
+	out := make(Record, s.recLen)
+	for k := range s.records {
+		if query[k/8]&(1<<(k%8)) != 0 {
+			for b, v := range s.records[k] {
+				out[b] ^= v
+			}
+		}
+	}
+	return out, nil
+}
+
+// Client runs private skyline queries against two non-colluding servers.
+type Client struct {
+	xs, ys []float64
+	nrec   int
+}
+
+// NewClient needs only the public grid lines (to locate queries) and the
+// table size.
+func NewClient(xs, ys []float64, numRecords int) *Client {
+	return &Client{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...), nrec: numRecords}
+}
+
+// Queries produces the two subset queries for the cell containing q. Each
+// query alone is a uniformly random bit-vector; their XOR selects exactly
+// the target cell.
+func (c *Client) Queries(q geom.Point) (q1, q2 []byte, err error) {
+	i := locate(c.xs, q.X())
+	j := locate(c.ys, q.Y())
+	target := i*(len(c.ys)+1) + j
+	nbytes := (c.nrec + 7) / 8
+	q1 = make([]byte, nbytes)
+	if _, err := rand.Read(q1); err != nil {
+		return nil, nil, fmt.Errorf("pir: %v", err)
+	}
+	// Mask padding bits beyond nrec for cleanliness.
+	if c.nrec%8 != 0 {
+		q1[nbytes-1] &= byte(1<<(c.nrec%8)) - 1
+	}
+	q2 = append([]byte(nil), q1...)
+	q2[target/8] ^= 1 << (target % 8)
+	return q1, q2, nil
+}
+
+// Reconstruct XORs the two server answers and decodes the result ids.
+func (c *Client) Reconstruct(a1, a2 Record) ([]int32, error) {
+	if len(a1) != len(a2) || len(a1) < 4 {
+		return nil, fmt.Errorf("pir: answer lengths %d, %d invalid", len(a1), len(a2))
+	}
+	rec := make(Record, len(a1))
+	for b := range rec {
+		rec[b] = a1[b] ^ a2[b]
+	}
+	n := binary.BigEndian.Uint32(rec)
+	if int(n) > (len(rec)-4)/4 {
+		return nil, fmt.Errorf("pir: corrupt record, claims %d ids in %d bytes", n, len(rec))
+	}
+	ids := make([]int32, n)
+	for k := range ids {
+		ids[k] = int32(binary.BigEndian.Uint32(rec[4+4*k:]))
+	}
+	return ids, nil
+}
+
+func locate(vs []float64, v float64) int {
+	lo, hi := 0, len(vs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if vs[mid] > v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,124 @@
+package pir
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func setup(t *testing.T) (*core.QuadrantDiagram, *Server, *Server, *Client) {
+	t.Helper()
+	hotels := dataset.Hotels()
+	d, err := core.BuildQuadrant(hotels, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two independent (non-colluding) replicas of the public table.
+	s1, err := Database(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Database(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Grid()
+	return d, s1, s2, NewClient(g.Xs, g.Ys, s1.NumRecords())
+}
+
+func TestPrivateQueriesMatchDiagram(t *testing.T) {
+	d, s1, s2, client := setup(t)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt2(-1, rng.Float64()*35, rng.Float64()*110)
+		q1, q2, err := client.Queries(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err := s1.Answer(q1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := s2.Answer(q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := client.Reconstruct(a1, a2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := d.Query(q)
+		if len(got) != len(want) {
+			t.Fatalf("q=%v: got %v want %v", q, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("q=%v: got %v want %v", q, got, want)
+			}
+		}
+	}
+}
+
+func TestQueriesDifferOnlyAtTarget(t *testing.T) {
+	d, s1, _, client := setup(t)
+	q := dataset.HotelQuery()
+	q1, q2, err := client.Queries(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for b := range q1 {
+		x := q1[b] ^ q2[b]
+		for x != 0 {
+			diff++
+			x &= x - 1
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("queries differ in %d bits, want exactly 1", diff)
+	}
+	// And that one bit is the query's cell.
+	g := d.Grid()
+	i, j := g.Locate(q)
+	target := i*g.Rows() + j
+	if q1[target/8]^q2[target/8] != 1<<(target%8) {
+		t.Fatalf("differing bit is not the target cell %d", target)
+	}
+	_ = s1
+}
+
+func TestServerRejectsBadQuery(t *testing.T) {
+	_, s1, _, _ := setup(t)
+	if _, err := s1.Answer([]byte{1}); err == nil {
+		t.Fatal("short query must be rejected")
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	_, _, _, client := setup(t)
+	if _, err := client.Reconstruct(Record{1}, Record{1, 2}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	// A record claiming more ids than fit must be rejected.
+	bad := make(Record, 8)
+	bad[3] = 200
+	zero := make(Record, 8)
+	if _, err := client.Reconstruct(bad, zero); err == nil {
+		t.Fatal("corrupt record must fail")
+	}
+}
+
+func TestRecordsFixedSize(t *testing.T) {
+	_, s1, _, _ := setup(t)
+	if s1.RecordLen() < 4 {
+		t.Fatal("record length too small")
+	}
+	for k := 0; k < s1.NumRecords(); k++ {
+		if len(s1.records[k]) != s1.RecordLen() {
+			t.Fatalf("record %d has length %d, want %d", k, len(s1.records[k]), s1.RecordLen())
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package polyomino
+
+import (
+	"testing"
+)
+
+func TestMergeCellsBasic(t *testing.T) {
+	// 3x2 grid: left column result {1}, rest {2}.
+	res := func(i, j int) []int32 {
+		if i == 0 {
+			return []int32{1}
+		}
+		return []int32{2}
+	}
+	p, err := MergeCells(3, 2, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions != 2 {
+		t.Fatalf("NumRegions = %d", p.NumRegions)
+	}
+	if p.At(0, 0) != p.At(0, 1) || p.At(1, 0) != p.At(2, 1) || p.At(0, 0) == p.At(1, 0) {
+		t.Fatalf("labels: %v", p.Labels)
+	}
+}
+
+func TestMergeCellsDiagonalNotMerged(t *testing.T) {
+	// Checkerboard of two results: diagonal neighbours must not merge, so
+	// every cell is its own region.
+	res := func(i, j int) []int32 {
+		if (i+j)%2 == 0 {
+			return []int32{1}
+		}
+		return []int32{9}
+	}
+	p, err := MergeCells(4, 4, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions != 16 {
+		t.Fatalf("checkerboard regions = %d, want 16", p.NumRegions)
+	}
+	if !Connected(p) {
+		t.Fatal("partition must be connected")
+	}
+}
+
+func TestMergeCellsEmptyResultsMerge(t *testing.T) {
+	p, err := MergeCells(3, 3, func(i, j int) []int32 { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions != 1 {
+		t.Fatalf("all-equal grid should be one region, got %d", p.NumRegions)
+	}
+	if _, err := MergeCells(0, 3, nil); err == nil {
+		t.Fatal("empty grid must fail")
+	}
+}
+
+func TestPartitionEqualCanonical(t *testing.T) {
+	// Same subdivision under different raw label values must compare equal.
+	a, err := FromLabels(2, 2, []int32{5, 5, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromLabels(2, 2, []int32{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("canonicalisation failed")
+	}
+	c, _ := FromLabels(2, 2, []int32{5, 7, 5, 7})
+	if a.Equal(c) {
+		t.Fatal("different subdivisions must differ")
+	}
+	if _, err := FromLabels(2, 2, []int32{1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestRegionsAnnotation(t *testing.T) {
+	res := func(i, j int) []int32 {
+		if i == 0 {
+			return []int32{1, 2}
+		}
+		return []int32{3}
+	}
+	p, err := MergeCells(2, 2, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, err := Regions(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regions = %d", len(regs))
+	}
+	total := 0
+	for _, r := range regs {
+		total += len(r.Cells)
+		if len(r.Result) == 0 {
+			t.Fatalf("region %d missing result", r.Label)
+		}
+	}
+	if total != 4 {
+		t.Fatalf("regions cover %d cells", total)
+	}
+	// Inconsistent annotation is detected.
+	bad, _ := FromLabels(2, 1, []int32{0, 0})
+	if _, err := Regions(bad, func(i, j int) []int32 { return []int32{int32(i)} }); err == nil {
+		t.Fatal("mixed-result region must error")
+	}
+}
+
+func TestRingContains(t *testing.T) {
+	// Unit square (0,0)-(2,0)-(2,2)-(0,2).
+	r := Ring{{0, 0}, {2, 0}, {2, 2}, {0, 2}}
+	if !r.Contains(1, 1) {
+		t.Fatal("center must be inside")
+	}
+	if r.Contains(3, 1) || r.Contains(-1, 1) || r.Contains(1, 3) {
+		t.Fatal("outside points must be outside")
+	}
+	if got := r.Area(); got != 4 {
+		t.Fatalf("Area = %g", got)
+	}
+	// L-shape (staircase): (0,0)-(3,0)-(3,1)-(1,1)-(1,3)-(0,3).
+	l := Ring{{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}}
+	if !l.Contains(2, 0.5) || !l.Contains(0.5, 2) || l.Contains(2, 2) {
+		t.Fatal("L-shape containment wrong")
+	}
+	if got := l.Area(); got != 5 {
+		t.Fatalf("L area = %g", got)
+	}
+}
+
+func TestRasterize(t *testing.T) {
+	// 2x2 cells of unit size; one ring covering the left column.
+	rings := []Ring{{{0, 0}, {1, 0}, {1, 2}, {0, 2}}}
+	sample := func(i, j int) (float64, float64) { return float64(i) + 0.5, float64(j) + 0.5 }
+	p, err := Rasterize(2, 2, rings, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegions != 2 {
+		t.Fatalf("regions = %d", p.NumRegions)
+	}
+	if p.At(0, 0) != p.At(0, 1) || p.At(1, 0) != p.At(1, 1) || p.At(0, 0) == p.At(1, 0) {
+		t.Fatalf("labels = %v", p.Labels)
+	}
+}
+
+func TestSizeHistogramAndConnected(t *testing.T) {
+	p, err := FromLabels(3, 1, []int32{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := SizeHistogram(p)
+	if h[2] != 1 || h[1] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+	if !Connected(p) {
+		t.Fatal("should be connected")
+	}
+	// Disconnected same-label cells.
+	bad, _ := FromLabels(3, 1, []int32{0, 1, 0})
+	// Canonicalisation renames the second 0; construct manually instead.
+	bad.Labels = []int32{0, 1, 0}
+	bad.NumRegions = 2
+	if Connected(bad) {
+		t.Fatal("disconnected labels must be detected")
+	}
+}
+
+func TestSortRegionsBySize(t *testing.T) {
+	regs := []Region{
+		{Label: 0, Cells: [][2]int{{0, 0}}},
+		{Label: 1, Cells: [][2]int{{1, 0}, {1, 1}}},
+	}
+	SortRegionsBySize(regs)
+	if regs[0].Label != 1 {
+		t.Fatal("largest region first")
+	}
+}

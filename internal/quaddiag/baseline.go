@@ -1,0 +1,71 @@
+package quaddiag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// BuildBaseline computes the quadrant skyline diagram with Algorithm 1:
+// sort the points once on x, then for every skyline cell scan the sorted
+// list, keep the candidates strictly above the cell's lower-left corner in
+// both coordinates, and sweep them for the 2-D skyline in linear time.
+// O(n^3) total. Unlike the optimized constructions it tolerates duplicate
+// coordinates, which makes it the reference implementation.
+func BuildBaseline(pts []geom.Point) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	g := grid.NewGrid(pts)
+	d := newDiagram(pts, g)
+
+	// Line 1 of Algorithm 1: sort ascending on x (ties by y so the linear
+	// maxima sweep below stays correct with duplicates).
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].X() != sorted[b].X() {
+			return sorted[a].X() < sorted[b].X()
+		}
+		return sorted[a].Y() < sorted[b].Y()
+	})
+
+	for i := 0; i < g.Cols(); i++ {
+		for j := 0; j < g.Rows(); j++ {
+			cx, cy := g.Corner(i, j)
+			// Lines 4–12: filter candidates and sweep. The list is x-sorted,
+			// so the skyline is every candidate whose y strictly improves on
+			// the best seen so far — plus exact coordinate twins of the last
+			// kept point, which are incomparable with it.
+			var ids []int32
+			var last geom.Point
+			have := false
+			for _, p := range sorted {
+				if !(p.X() > cx && p.Y() > cy) {
+					continue
+				}
+				switch {
+				case !have || p.Y() < last.Y():
+					ids = append(ids, int32(p.ID))
+					last, have = p, true
+				case p.X() == last.X() && p.Y() == last.Y():
+					ids = append(ids, int32(p.ID))
+				}
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			d.setCell(i, j, ids)
+		}
+	}
+	return d, nil
+}
+
+func require2D(pts []geom.Point) error {
+	for _, p := range pts {
+		if p.Dim() != 2 {
+			return fmt.Errorf("quaddiag: planar construction requires 2-D points, p%d has dimension %d (use the HD variants)", p.ID, p.Dim())
+		}
+	}
+	return nil
+}

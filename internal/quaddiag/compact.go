@@ -1,0 +1,111 @@
+package quaddiag
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/polyomino"
+)
+
+// Compact is a space-optimised skyline diagram: instead of one result slice
+// per cell (the O(min(s,n)^2 · n) output representation the paper's space
+// analysis charges), it stores each distinct polyomino's result once and a
+// 4-byte label per cell. Query speed is unchanged — one point location plus
+// one indirection — while memory drops by the average polyomino size times
+// the average result length.
+type Compact struct {
+	Points  []geom.Point
+	Grid    *grid.Grid
+	labels  []int32   // per cell, row-major
+	results [][]int32 // per polyomino label
+	rows    int
+}
+
+// NewCompact converts a cell-level diagram into its compact form.
+func NewCompact(d *Diagram) (*Compact, error) {
+	part, err := d.Merge()
+	if err != nil {
+		return nil, err
+	}
+	c := &Compact{
+		Points:  d.Points,
+		Grid:    d.Grid,
+		labels:  part.Labels,
+		results: make([][]int32, part.NumRegions),
+		rows:    d.Grid.Rows(),
+	}
+	seen := make([]bool, part.NumRegions)
+	for i := 0; i < d.Grid.Cols(); i++ {
+		for j := 0; j < d.Grid.Rows(); j++ {
+			l := part.At(i, j)
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			c.results[l] = d.Cell(i, j)
+		}
+	}
+	return c, nil
+}
+
+// Query answers a quadrant skyline query by point location plus one label
+// indirection.
+func (c *Compact) Query(q geom.Point) []int32 {
+	i, j := c.Grid.Locate(q)
+	return c.results[c.labels[i*c.rows+j]]
+}
+
+// Cell returns the result of cell (i, j).
+func (c *Compact) Cell(i, j int) []int32 {
+	return c.results[c.labels[i*c.rows+j]]
+}
+
+// NumPolyominoes returns the number of distinct regions.
+func (c *Compact) NumPolyominoes() int { return len(c.results) }
+
+// MemoryFootprint estimates the bytes held by the representation's payload
+// (labels plus distinct results), and what the flat per-cell representation
+// would hold, for the E6-style space comparison.
+func (c *Compact) MemoryFootprint() (compact, flat int) {
+	compact = 4 * len(c.labels)
+	for _, r := range c.results {
+		compact += sliceBytes(r)
+	}
+	for _, l := range c.labels {
+		flat += sliceBytes(c.results[l])
+	}
+	return compact, flat
+}
+
+func sliceBytes(r []int32) int {
+	const sliceHeader = 24
+	return sliceHeader + 4*len(r)
+}
+
+// Verify checks the compact form against its source diagram cell by cell.
+func (c *Compact) Verify(d *Diagram) error {
+	if c.Grid.Cols() != d.Grid.Cols() || c.Grid.Rows() != d.Grid.Rows() {
+		return fmt.Errorf("quaddiag: compact grid %dx%d vs diagram %dx%d",
+			c.Grid.Cols(), c.Grid.Rows(), d.Grid.Cols(), d.Grid.Rows())
+	}
+	for i := 0; i < c.Grid.Cols(); i++ {
+		for j := 0; j < c.Grid.Rows(); j++ {
+			if !equalIDs(c.Cell(i, j), d.Cell(i, j)) {
+				return fmt.Errorf("quaddiag: compact cell (%d,%d) = %v, diagram %v",
+					i, j, c.Cell(i, j), d.Cell(i, j))
+			}
+		}
+	}
+	return nil
+}
+
+// Partition exposes the polyomino partition backing the compact form.
+func (c *Compact) Partition() *polyomino.Partition {
+	return &polyomino.Partition{
+		Cols:       c.Grid.Cols(),
+		Rows:       c.Grid.Rows(),
+		Labels:     c.labels,
+		NumRegions: len(c.results),
+	}
+}

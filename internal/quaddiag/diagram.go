@@ -1,0 +1,196 @@
+// Package quaddiag computes skyline diagrams for quadrant and global skyline
+// queries (Section IV of the paper). Four constructions are provided for the
+// first-quadrant diagram:
+//
+//   - BuildBaseline — Algorithm 1, O(n^3): one fresh skyline per cell from a
+//     presorted point list.
+//   - BuildDSG — Algorithm 2, O(n^3) worst case: incremental maintenance over
+//     the directed skyline graph; much faster in practice because the work is
+//     proportional to the number of direct dominance links.
+//   - BuildScanning — Algorithm 3, O(n^3) worst case: the Theorem 1 multiset
+//     identity Sky(C[i][j]) = Sky(C[i+1][j]) + Sky(C[i][j+1]) − Sky(C[i+1][j+1]),
+//     evaluated top-right to bottom-left.
+//   - BuildSweeping — Algorithm 4, O(n^2): constructs the skyline polyominoes
+//     directly from the arrangement of half-open rays, without computing any
+//     skyline.
+//
+// The global diagram (BuildGlobal) runs a quadrant construction in each of
+// the four reflected orientations and unions the per-cell results.
+//
+// All cell-level constructions share the Diagram type; Merge converts a
+// Diagram into its polyomino partition. High-dimensional variants live in
+// highdim.go.
+package quaddiag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/polyomino"
+	"repro/internal/skyline"
+)
+
+// Diagram is a computed skyline diagram at cell granularity: the skyline
+// result of every skyline cell (Definition 6).
+type Diagram struct {
+	Points []geom.Point
+	Grid   *grid.Grid
+	// cells[i*rows+j] is the ascending id list of Sky(C(i,j)).
+	cells [][]int32
+	rows  int
+}
+
+func newDiagram(pts []geom.Point, g *grid.Grid) *Diagram {
+	return &Diagram{
+		Points: pts,
+		Grid:   g,
+		cells:  make([][]int32, g.Cols()*g.Rows()),
+		rows:   g.Rows(),
+	}
+}
+
+// Cell returns the skyline ids of cell (i, j), ascending. The slice is owned
+// by the diagram; callers must not modify it.
+func (d *Diagram) Cell(i, j int) []int32 { return d.cells[i*d.rows+j] }
+
+func (d *Diagram) setCell(i, j int, ids []int32) { d.cells[i*d.rows+j] = ids }
+
+// Query answers a quadrant (or global, depending on how the diagram was
+// built) skyline query by point location: O(log n) search plus output size.
+func (d *Diagram) Query(q geom.Point) []int32 {
+	i, j := d.Grid.Locate(q)
+	return d.Cell(i, j)
+}
+
+// QueryPoints resolves Query ids back to points.
+func (d *Diagram) QueryPoints(q geom.Point) []geom.Point {
+	return d.Resolve(d.Query(q))
+}
+
+// Resolve maps ids to the corresponding points.
+func (d *Diagram) Resolve(ids []int32) []geom.Point {
+	byID := make(map[int32]geom.Point, len(d.Points))
+	for _, p := range d.Points {
+		byID[int32(p.ID)] = p
+	}
+	out := make([]geom.Point, 0, len(ids))
+	for _, id := range ids {
+		if p, ok := byID[id]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two diagrams assign identical results to every cell.
+func (d *Diagram) Equal(o *Diagram) bool {
+	if d.Grid.Cols() != o.Grid.Cols() || d.Grid.Rows() != o.Grid.Rows() {
+		return false
+	}
+	for k := range d.cells {
+		if !equalIDs(d.cells[k], o.cells[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge groups the diagram's cells into skyline polyominoes.
+func (d *Diagram) Merge() (*polyomino.Partition, error) {
+	return polyomino.MergeCells(d.Grid.Cols(), d.Grid.Rows(), d.Cell)
+}
+
+// Stats summarises a diagram for the E6 experiment table.
+type Stats struct {
+	N           int
+	Cells       int
+	Polyominoes int
+	AvgSkySize  float64
+	MaxSkySize  int
+}
+
+// ComputeStats merges the diagram and reports its structure statistics.
+func (d *Diagram) ComputeStats() (Stats, error) {
+	part, err := d.Merge()
+	if err != nil {
+		return Stats{}, err
+	}
+	var sum, max int
+	for _, c := range d.cells {
+		sum += len(c)
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return Stats{
+		N:           len(d.Points),
+		Cells:       len(d.cells),
+		Polyominoes: part.NumRegions,
+		AvgSkySize:  float64(sum) / float64(len(d.cells)),
+		MaxSkySize:  max,
+	}, nil
+}
+
+// Algorithm names a quadrant diagram construction, for CLIs and benchmarks.
+type Algorithm string
+
+// The quadrant diagram constructions.
+const (
+	AlgBaseline Algorithm = "baseline"
+	AlgDSG      Algorithm = "dsg"
+	AlgScanning Algorithm = "scanning"
+)
+
+// Build dispatches to the named cell-level construction. (The sweeping
+// algorithm is not dispatched here because it produces polyominoes, not
+// per-cell results; see BuildSweeping.)
+func Build(pts []geom.Point, alg Algorithm) (*Diagram, error) {
+	switch alg {
+	case AlgBaseline:
+		return BuildBaseline(pts)
+	case AlgDSG:
+		return BuildDSG(pts)
+	case AlgScanning:
+		return BuildScanning(pts)
+	default:
+		return nil, fmt.Errorf("quaddiag: unknown algorithm %q", alg)
+	}
+}
+
+// sortedIDs converts points to an ascending id slice.
+func sortedIDs(pts []geom.Point) []int32 {
+	ids := make([]int32, len(pts))
+	for i, p := range pts {
+		ids[i] = int32(p.ID)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// requireGeneralPosition guards the optimized constructions, which assume
+// distinct per-axis coordinates exactly as the paper does.
+func requireGeneralPosition(pts []geom.Point) error {
+	return geom.CheckGeneralPosition(pts)
+}
+
+// oracleCell computes Sky(C(i,j)) from scratch; shared by tests and by the
+// subset algorithm's fallback paths.
+func oracleCell(pts []geom.Point, g *grid.Grid, i, j int) []int32 {
+	cx, cy := g.Corner(i, j)
+	sky := skyline.FirstQuadrantSkylineStrict(pts, []float64{cx, cy})
+	return sortedIDs(sky)
+}

@@ -1,0 +1,159 @@
+package quaddiag
+
+import (
+	"sort"
+
+	"repro/internal/dsg"
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// BuildDSG computes the quadrant skyline diagram with Algorithm 2: start
+// from the skyline of the whole dataset at cell (0,0) and walk the grid,
+// deleting exactly one point per crossed grid line and repairing the skyline
+// through the directed skyline graph. Deleting p removes p from the result
+// and promotes every child of p whose direct parents are now all deleted.
+//
+// The scan processes each column bottom-to-top from a saved column state,
+// then advances the column state rightward, so each dominance link is
+// touched O(n) times: O(n * links) = O(n^3) worst case, far less in
+// practice.
+//
+// Ties are supported beyond the paper's presentation: coincident grid lines
+// carry several points, and crossing such a line deletes the whole batch.
+// Batch deletion preserves the invariant because snapshots are only taken
+// between lines, and at every line boundary a point's direct parents are all
+// deleted exactly when all of its dominators are.
+func BuildDSG(pts []geom.Point) (*Diagram, error) {
+	return buildDSGWith(pts, dsg.Build)
+}
+
+// BuildDSGFull is the E10 ablation variant of BuildDSG: it runs the same
+// incremental scan over the dominance graph with ALL transitive links, as in
+// the paper's reference [15], instead of the direct links the paper adapts
+// it to. Same output, more link traffic.
+func BuildDSGFull(pts []geom.Point) (*Diagram, error) {
+	return buildDSGWith(pts, dsg.BuildFull)
+}
+
+// BuildDSGFromGraph runs the Algorithm 2 scan over a prebuilt dominance
+// graph, separating graph-construction cost from scan cost (used by the E10
+// ablation). The graph must have been built over exactly pts.
+func BuildDSGFromGraph(pts []geom.Point, graph *dsg.Graph) (*Diagram, error) {
+	return buildDSGWith(pts, func([]geom.Point) *dsg.Graph { return graph })
+}
+
+func buildDSGWith(pts []geom.Point, buildGraph func([]geom.Point) *dsg.Graph) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	g := grid.NewGrid(pts)
+	d := newDiagram(pts, g)
+	if len(pts) == 0 {
+		d.setCell(0, 0, nil)
+		return d, nil
+	}
+	graph := buildGraph(pts)
+
+	// posAtX[i] lists the positions (indices into pts) of the points whose
+	// vertical grid line is Xs[i]. Likewise posAtY.
+	posAtX := make([][]int32, len(g.Xs))
+	posAtY := make([][]int32, len(g.Ys))
+	for pos, p := range pts {
+		xi := sort.SearchFloat64s(g.Xs, p.X())
+		yi := sort.SearchFloat64s(g.Ys, p.Y())
+		posAtX[xi] = append(posAtX[xi], int32(pos))
+		posAtY[yi] = append(posAtY[yi], int32(pos))
+	}
+
+	// Column state at cell (i, 0).
+	colState := newDSGState(graph)
+	for i := 0; i < g.Cols(); i++ {
+		// Lines 4–8: copy the column state and sweep the column upward.
+		row := colState.clone()
+		d.setCell(i, 0, row.skySnapshot())
+		for j := 1; j < g.Rows(); j++ {
+			for _, pos := range posAtY[j-1] {
+				row.deletePoint(pos)
+			}
+			d.setCell(i, j, row.skySnapshot())
+		}
+		// Lines 9–12: advance the column state across the next vertical line.
+		if i < len(g.Xs) {
+			for _, pos := range posAtX[i] {
+				colState.deletePoint(pos)
+			}
+		}
+	}
+	return d, nil
+}
+
+// dsgState is the mutable scan state: which points are deleted, how many
+// direct parents each point still has, and the current skyline as a sorted
+// id list.
+type dsgState struct {
+	graph   *dsg.Graph
+	deleted []bool
+	parents []int32
+	sky     []int32 // ascending ids
+}
+
+func newDSGState(graph *dsg.Graph) *dsgState {
+	s := &dsgState{
+		graph:   graph,
+		deleted: make([]bool, len(graph.Points)),
+		parents: graph.ParentCounts(),
+	}
+	for _, pos := range graph.FirstLayerPositions() {
+		s.sky = append(s.sky, int32(graph.Points[pos].ID))
+	}
+	sort.Slice(s.sky, func(a, b int) bool { return s.sky[a] < s.sky[b] })
+	return s
+}
+
+func (s *dsgState) clone() *dsgState {
+	c := &dsgState{
+		graph:   s.graph,
+		deleted: append([]bool(nil), s.deleted...),
+		parents: append([]int32(nil), s.parents...),
+		sky:     append([]int32(nil), s.sky...),
+	}
+	return c
+}
+
+func (s *dsgState) skySnapshot() []int32 {
+	return append([]int32(nil), s.sky...)
+}
+
+// deletePoint removes the point at position pos from the active set. A point
+// whose grid line was already crossed on the other axis is skipped — its
+// second line crossing changes nothing. Children left without live direct
+// parents join the skyline: by the chain argument in package dsg, a point
+// whose direct parents are all deleted has no live dominator at all.
+func (s *dsgState) deletePoint(pos int32) {
+	if s.deleted[pos] {
+		return
+	}
+	s.deleted[pos] = true
+	s.removeSky(int32(s.graph.Points[pos].ID))
+	for _, c := range s.graph.Children[pos] {
+		s.parents[c]--
+		if s.parents[c] == 0 && !s.deleted[c] {
+			s.insertSky(int32(s.graph.Points[c].ID))
+		}
+	}
+}
+
+func (s *dsgState) removeSky(id int32) {
+	k := sort.Search(len(s.sky), func(i int) bool { return s.sky[i] >= id })
+	if k < len(s.sky) && s.sky[k] == id {
+		s.sky = append(s.sky[:k], s.sky[k+1:]...)
+	}
+}
+
+func (s *dsgState) insertSky(id int32) {
+	k := sort.Search(len(s.sky), func(i int) bool { return s.sky[i] >= id })
+	s.sky = append(s.sky, 0)
+	copy(s.sky[k+1:], s.sky[k:])
+	s.sky[k] = id
+}

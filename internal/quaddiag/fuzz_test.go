@@ -1,0 +1,49 @@
+package quaddiag
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzScanningMatchesBaseline drives the scanning construction (Theorem 1
+// with saturating subtraction and the generalised corner exception) against
+// the oracle baseline on arbitrary small integer datasets — the fuzz form of
+// the randomized equivalence tests, which is what originally exposed the
+// saturating-subtraction requirement.
+func FuzzScanningMatchesBaseline(f *testing.F) {
+	f.Add([]byte{9, 17, 7, 3, 3, 16, 10, 11}) // the Theorem 1 counterexample shape
+	f.Add([]byte{0, 0, 0, 0})                 // duplicates
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			return
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		n := len(raw) / 2
+		pts := make([]geom.Point, n)
+		for i := 0; i < n; i++ {
+			pts[i] = geom.Pt2(i, float64(raw[2*i]%20), float64(raw[2*i+1]%20))
+		}
+		base, err := BuildBaseline(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan, err := BuildScanning(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !base.Equal(scan) {
+			t.Fatalf("scanning differs from baseline on %v", pts)
+		}
+		viaDSG, err := BuildDSG(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !base.Equal(viaDSG) {
+			t.Fatalf("DSG differs from baseline on %v", pts)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package quaddiag
+
+import (
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/polyomino"
+)
+
+// GlobalDiagram is the skyline diagram for global skyline queries: per cell,
+// the union of the four quadrant skylines (Definition 3). The union is
+// disjoint because every point belongs to exactly one quadrant of any query
+// interior to the cell.
+type GlobalDiagram struct {
+	Points    []geom.Point
+	Grid      *grid.Grid
+	Quadrants [4]*Diagram // index = reflection mask; cells already remapped
+	cells     [][]int32
+	rows      int
+}
+
+// BuildGlobal computes the global skyline diagram by running the given
+// quadrant construction on the four reflections of the input (Section IV:
+// "global skyline can be simply computed by taking a union of all quadrant
+// skylines"). Reflecting axis a maps quadrant cell column i to column
+// cols-1-i, so the four per-cell results line up on the original grid.
+func BuildGlobal(pts []geom.Point, alg Algorithm) (*GlobalDiagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	g := grid.NewGrid(pts)
+	gd := &GlobalDiagram{
+		Points: pts,
+		Grid:   g,
+		cells:  make([][]int32, g.Cols()*g.Rows()),
+		rows:   g.Rows(),
+	}
+	for mask := 0; mask < 4; mask++ {
+		rd, err := Build(geom.Reflect(pts, mask), alg)
+		if err != nil {
+			return nil, err
+		}
+		gd.Quadrants[mask] = remap(rd, pts, g, mask)
+	}
+	for i := 0; i < g.Cols(); i++ {
+		for j := 0; j < g.Rows(); j++ {
+			merged := gd.Quadrants[0].Cell(i, j)
+			for mask := 1; mask < 4; mask++ {
+				merged = mergeDisjoint(merged, gd.Quadrants[mask].Cell(i, j))
+			}
+			gd.cells[i*gd.rows+j] = merged
+		}
+	}
+	return gd, nil
+}
+
+// remap rebuilds a reflected quadrant diagram on the original grid: cell
+// (i, j) of the result holds the reflected diagram's cell, with each axis
+// index flipped when that axis was reflected.
+func remap(rd *Diagram, pts []geom.Point, g *grid.Grid, mask int) *Diagram {
+	out := newDiagram(pts, g)
+	cols, rows := g.Cols(), g.Rows()
+	for i := 0; i < cols; i++ {
+		for j := 0; j < rows; j++ {
+			ri, rj := i, j
+			if mask&1 != 0 {
+				ri = cols - 1 - i
+			}
+			if mask&2 != 0 {
+				rj = rows - 1 - j
+			}
+			out.setCell(i, j, rd.Cell(ri, rj))
+		}
+	}
+	return out
+}
+
+// mergeDisjoint merges two ascending id lists known to be disjoint.
+func mergeDisjoint(a, b []int32) []int32 {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	ai, bi := 0, 0
+	for ai < len(a) && bi < len(b) {
+		if a[ai] < b[bi] {
+			out = append(out, a[ai])
+			ai++
+		} else {
+			out = append(out, b[bi])
+			bi++
+		}
+	}
+	out = append(out, a[ai:]...)
+	out = append(out, b[bi:]...)
+	return out
+}
+
+// Cell returns the global skyline ids of cell (i, j), ascending.
+func (gd *GlobalDiagram) Cell(i, j int) []int32 { return gd.cells[i*gd.rows+j] }
+
+// Query answers a global skyline query by point location.
+func (gd *GlobalDiagram) Query(q geom.Point) []int32 {
+	i, j := gd.Grid.Locate(q)
+	return gd.Cell(i, j)
+}
+
+// QuadrantCell returns the quadrant-mask component of cell (i, j).
+func (gd *GlobalDiagram) QuadrantCell(mask, i, j int) []int32 {
+	return gd.Quadrants[mask].Cell(i, j)
+}
+
+// Merge groups the global diagram's cells into polyominoes. Note that the
+// global diagram's polyominoes are generally finer than the quadrant
+// diagram's: a cell boundary can change any of the four quadrant results.
+func (gd *GlobalDiagram) Merge() (*polyomino.Partition, error) {
+	return polyomino.MergeCells(gd.Grid.Cols(), gd.Grid.Rows(), gd.Cell)
+}

@@ -1,0 +1,84 @@
+package quaddiag
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// GlobalHDDiagram is the d-dimensional global skyline diagram: per
+// hyper-cell, the union of the skylines of all 2^d orthants (Section IV-E
+// applied to Definition 3).
+type GlobalHDDiagram struct {
+	Points []geom.Point
+	Grid   *grid.HyperGrid
+	cells  [][]int32
+}
+
+// Cell returns the global skyline ids of the hyper-cell idx, ascending.
+func (d *GlobalHDDiagram) Cell(idx []int) []int32 { return d.cells[d.Grid.Flatten(idx)] }
+
+// Query answers a global skyline query by point location.
+func (d *GlobalHDDiagram) Query(q geom.Point) ([]int32, error) {
+	idx, err := d.Grid.Locate(q)
+	if err != nil {
+		return nil, err
+	}
+	return d.Cell(idx), nil
+}
+
+// HDAlgorithm names an HD orthant construction for BuildGlobalHD.
+type HDAlgorithm string
+
+// The HD orthant constructions.
+const (
+	HDAlgBaseline HDAlgorithm = "baseline"
+	HDAlgDSG      HDAlgorithm = "dsg"
+	HDAlgScanning HDAlgorithm = "scanning"
+)
+
+func buildHD(pts []geom.Point, dim int, alg HDAlgorithm) (*HDDiagram, error) {
+	switch alg {
+	case HDAlgBaseline:
+		return BuildBaselineHD(pts, dim)
+	case HDAlgDSG:
+		return BuildDSGHD(pts, dim)
+	case HDAlgScanning:
+		return BuildScanningHD(pts, dim)
+	default:
+		return nil, fmt.Errorf("quaddiag: unknown HD algorithm %q", alg)
+	}
+}
+
+// BuildGlobalHD computes the d-dimensional global skyline diagram by running
+// the chosen orthant construction on all 2^d reflections and unioning the
+// per-cell results. Reflecting axis a maps cell index i to size_a-1-i on
+// that axis.
+func BuildGlobalHD(pts []geom.Point, dim int, alg HDAlgorithm) (*GlobalHDDiagram, error) {
+	if err := checkHD(pts, dim); err != nil {
+		return nil, err
+	}
+	hg := grid.NewHyperGrid(pts, dim)
+	gd := &GlobalHDDiagram{Points: pts, Grid: hg, cells: make([][]int32, hg.NumCells())}
+	shape := hg.Shape()
+	for mask := 0; mask < 1<<dim; mask++ {
+		rd, err := buildHD(geom.Reflect(pts, mask), dim, alg)
+		if err != nil {
+			return nil, err
+		}
+		ridx := make([]int, dim)
+		for off := 0; off < hg.NumCells(); off++ {
+			idx := hg.Unflatten(off)
+			for a := 0; a < dim; a++ {
+				if mask&(1<<a) != 0 {
+					ridx[a] = shape[a] - 1 - idx[a]
+				} else {
+					ridx[a] = idx[a]
+				}
+			}
+			gd.cells[off] = mergeDisjoint(gd.cells[off], rd.Cell(ridx))
+		}
+	}
+	return gd, nil
+}

@@ -1,0 +1,221 @@
+package quaddiag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dsg"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/skyline"
+)
+
+// HDDiagram is the d-dimensional quadrant skyline diagram of Section IV-E:
+// the skyline of every hyper-cell of the grid drawn through all points.
+type HDDiagram struct {
+	Points []geom.Point
+	Grid   *grid.HyperGrid
+	cells  [][]int32 // row-major by HyperGrid.Flatten
+}
+
+// Cell returns the skyline ids of the hyper-cell with per-axis indices idx.
+func (d *HDDiagram) Cell(idx []int) []int32 { return d.cells[d.Grid.Flatten(idx)] }
+
+// Query answers a first-orthant skyline query by point location.
+func (d *HDDiagram) Query(q geom.Point) ([]int32, error) {
+	idx, err := d.Grid.Locate(q)
+	if err != nil {
+		return nil, err
+	}
+	return d.Cell(idx), nil
+}
+
+// Equal reports whether two HD diagrams assign identical results everywhere.
+func (d *HDDiagram) Equal(o *HDDiagram) bool {
+	if len(d.cells) != len(o.cells) {
+		return false
+	}
+	for k := range d.cells {
+		if !equalIDs(d.cells[k], o.cells[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+func checkHD(pts []geom.Point, dim int) error {
+	if dim < 2 {
+		return fmt.Errorf("quaddiag: dimension %d < 2", dim)
+	}
+	for _, p := range pts {
+		if p.Dim() != dim {
+			return fmt.Errorf("quaddiag: p%d has dimension %d, expected %d", p.ID, p.Dim(), dim)
+		}
+	}
+	return nil
+}
+
+// BuildBaselineHD computes the d-dimensional diagram from scratch per
+// hyper-cell (Section IV-E1): O(n^d) cells, each a strict-first-orthant
+// skyline computation. Tolerates ties.
+func BuildBaselineHD(pts []geom.Point, dim int) (*HDDiagram, error) {
+	if err := checkHD(pts, dim); err != nil {
+		return nil, err
+	}
+	hg := grid.NewHyperGrid(pts, dim)
+	d := &HDDiagram{Points: pts, Grid: hg, cells: make([][]int32, hg.NumCells())}
+	for off := 0; off < hg.NumCells(); off++ {
+		idx := hg.Unflatten(off)
+		corner := hg.Corner(idx)
+		d.cells[off] = sortedIDs(skyline.FirstQuadrantSkylineStrict(pts, corner))
+	}
+	return d, nil
+}
+
+// BuildScanningHD computes the d-dimensional diagram with the generalised
+// Theorem 1 (Section IV-E3): cells are filled from the top corner downward;
+// each interior cell is the skyline of the saturating multiset expression
+//
+//	Σ_{δ odd} Sky(C+δ)  −  Σ_{δ even, δ≠0} Sky(C+δ),    δ ∈ {0,1}^d \ {0},
+//
+// where odd/even refers to the number of +1 offsets. Unlike two dimensions
+// the expression is a superset of the answer, so a final Skyline() filter
+// over the surviving ids is applied, exactly as the paper prescribes.
+// Requires general position.
+func BuildScanningHD(pts []geom.Point, dim int) (*HDDiagram, error) {
+	if err := checkHD(pts, dim); err != nil {
+		return nil, err
+	}
+	if err := requireGeneralPosition(pts); err != nil {
+		return nil, err
+	}
+	hg := grid.NewHyperGrid(pts, dim)
+	d := &HDDiagram{Points: pts, Grid: hg, cells: make([][]int32, hg.NumCells())}
+	byID := make(map[int32]geom.Point, len(pts))
+	for _, p := range pts {
+		byID[int32(p.ID)] = p
+	}
+	// Points indexed by their full upper-corner coordinates.
+	atCorner := make(map[string]int32, len(pts))
+	for _, p := range pts {
+		atCorner[coordKey(p.Coords)] = int32(p.ID)
+	}
+	shape := hg.Shape()
+	idx := make([]int, dim)
+	// Iterate offsets descending so every +1 neighbour is already computed.
+	for off := hg.NumCells() - 1; off >= 0; off-- {
+		copyIdx(idx, hg.Unflatten(off))
+		// Border cells (any axis at its maximum index) have no candidates.
+		if onUpperBorder(idx, shape) {
+			d.cells[off] = nil
+			continue
+		}
+		// Upper-corner point exception.
+		upper := make([]float64, dim)
+		for a := 0; a < dim; a++ {
+			upper[a] = hg.Axes[a][idx[a]]
+		}
+		if id, ok := atCorner[coordKey(upper)]; ok {
+			d.cells[off] = []int32{id}
+			continue
+		}
+		counts := make(map[int32]int)
+		for delta := 1; delta < 1<<dim; delta++ {
+			nIdx := make([]int, dim)
+			ones := 0
+			for a := 0; a < dim; a++ {
+				nIdx[a] = idx[a]
+				if delta&(1<<a) != 0 {
+					nIdx[a]++
+					ones++
+				}
+			}
+			sign := 1
+			if ones%2 == 0 {
+				sign = -1
+			}
+			for _, id := range d.cells[hg.Flatten(nIdx)] {
+				counts[id] += sign
+			}
+		}
+		var ids []int32
+		for id, c := range counts {
+			if c > 0 {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		// Final Skyline() application over the surviving candidates.
+		cand := make([]geom.Point, len(ids))
+		for k, id := range ids {
+			cand[k] = byID[id]
+		}
+		d.cells[off] = sortedIDs(skyline.Of(cand))
+	}
+	return d, nil
+}
+
+func onUpperBorder(idx, shape []int) bool {
+	for a := range idx {
+		if idx[a] == shape[a]-1 {
+			return true
+		}
+	}
+	return false
+}
+
+func copyIdx(dst, src []int) { copy(dst, src) }
+
+func coordKey(c []float64) string {
+	b := make([]byte, 0, len(c)*18)
+	for _, v := range c {
+		b = append(b, fmt.Sprintf("%x|", v)...)
+	}
+	return string(b)
+}
+
+// BuildDSGHD computes the d-dimensional diagram with the directed skyline
+// graph (Section IV-E2): the 2-D scan generalises to a depth-first walk over
+// the axes, each level cloning its state and deleting exactly one point per
+// crossed hyperplane. Requires general position.
+func BuildDSGHD(pts []geom.Point, dim int) (*HDDiagram, error) {
+	if err := checkHD(pts, dim); err != nil {
+		return nil, err
+	}
+	if err := requireGeneralPosition(pts); err != nil {
+		return nil, err
+	}
+	hg := grid.NewHyperGrid(pts, dim)
+	d := &HDDiagram{Points: pts, Grid: hg, cells: make([][]int32, hg.NumCells())}
+	if len(pts) == 0 {
+		return d, nil
+	}
+	graph := dsg.Build(pts)
+	// posAt[a][i] is the position of the point whose axis-a value is
+	// hg.Axes[a][i]; unique under general position.
+	posAt := make([][]int32, dim)
+	for a := 0; a < dim; a++ {
+		posAt[a] = make([]int32, len(hg.Axes[a]))
+		for pos, p := range pts {
+			posAt[a][sort.SearchFloat64s(hg.Axes[a], p.Coords[a])] = int32(pos)
+		}
+	}
+	idx := make([]int, dim)
+	var walk func(axis int, state *dsgState)
+	walk = func(axis int, state *dsgState) {
+		size := len(hg.Axes[axis]) + 1
+		for i := 0; i < size; i++ {
+			idx[axis] = i
+			if axis == dim-1 {
+				d.cells[hg.Flatten(idx)] = state.skySnapshot()
+			} else {
+				walk(axis+1, state.clone())
+			}
+			if i < size-1 {
+				state.deletePoint(posAt[axis][i])
+			}
+		}
+	}
+	walk(0, newDSGState(graph))
+	return d, nil
+}

@@ -1,0 +1,206 @@
+package quaddiag
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/skyline"
+)
+
+func genGPHD(rng *rand.Rand, n, dim int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := make([]float64, dim)
+		for j := range c {
+			c[j] = float64(rng.Intn(4*n + 1))
+		}
+		pts[i] = geom.Point{ID: i, Coords: c}
+	}
+	return dataset.GeneralPosition(pts)
+}
+
+func TestHDBaselineMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{2, 3, 4} {
+		pts := genGPHD(rng, 7, dim)
+		d, err := BuildBaselineHD(pts, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < d.Grid.NumCells(); off++ {
+			idx := d.Grid.Unflatten(off)
+			corner := d.Grid.Corner(idx)
+			want := sortedIDs(skyline.FirstQuadrantSkylineStrict(pts, corner))
+			if !equalIDs(d.Cell(idx), want) {
+				t.Fatalf("dim %d cell %v: got %v want %v", dim, idx, d.Cell(idx), want)
+			}
+		}
+	}
+}
+
+func TestHDAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, cfg := range []struct{ n, dim int }{
+		{1, 2}, {10, 2}, {8, 3}, {10, 3}, {6, 4}, {5, 5},
+	} {
+		for trial := 0; trial < 3; trial++ {
+			pts := genGPHD(rng, cfg.n, cfg.dim)
+			base, err := BuildBaselineHD(pts, cfg.dim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scan, err := BuildScanningHD(pts, cfg.dim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaDSG, err := BuildDSGHD(pts, cfg.dim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !base.Equal(scan) {
+				t.Fatalf("n=%d dim=%d trial=%d: scanning HD differs from baseline", cfg.n, cfg.dim, trial)
+			}
+			if !base.Equal(viaDSG) {
+				t.Fatalf("n=%d dim=%d trial=%d: DSG HD differs from baseline", cfg.n, cfg.dim, trial)
+			}
+		}
+	}
+}
+
+func TestHD2DMatchesPlanar(t *testing.T) {
+	// The HD constructions restricted to d=2 must reproduce the planar ones.
+	rng := rand.New(rand.NewSource(13))
+	pts := genGP(rng, 20)
+	planar, err := BuildBaseline(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := BuildScanningHD(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < planar.Grid.Cols(); i++ {
+		for j := 0; j < planar.Grid.Rows(); j++ {
+			if !equalIDs(planar.Cell(i, j), hd.Cell([]int{i, j})) {
+				t.Fatalf("cell (%d,%d): planar %v hd %v", i, j, planar.Cell(i, j), hd.Cell([]int{i, j}))
+			}
+		}
+	}
+}
+
+func TestHDQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	pts := genGPHD(rng, 9, 3)
+	d, err := BuildBaselineHD(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := geom.Pt(-1, rng.Float64()*40, rng.Float64()*40, rng.Float64()*40)
+		got, err := d.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: strict first-orthant skyline of the containing cell corner.
+		idx, _ := d.Grid.Locate(q)
+		want := sortedIDs(skyline.FirstQuadrantSkylineStrict(pts, d.Grid.Corner(idx)))
+		if !equalIDs(got, want) {
+			t.Fatalf("q=%v: got %v want %v", q, got, want)
+		}
+	}
+	if _, err := d.Query(geom.Pt2(-1, 1, 2)); err == nil {
+		t.Fatal("wrong-dimension query must fail")
+	}
+}
+
+func TestHDErrors(t *testing.T) {
+	if _, err := BuildBaselineHD([]geom.Point{geom.Pt2(0, 1, 2)}, 3); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+	if _, err := BuildBaselineHD(nil, 1); err == nil {
+		t.Fatal("dim < 2 must fail")
+	}
+	tied := []geom.Point{geom.Pt(0, 1, 2, 3), geom.Pt(1, 1, 5, 6)}
+	if _, err := BuildScanningHD(tied, 3); err == nil {
+		t.Fatal("scanning HD must reject ties")
+	}
+	if _, err := BuildDSGHD(tied, 3); err == nil {
+		t.Fatal("DSG HD must reject ties")
+	}
+}
+
+func TestHDEmpty(t *testing.T) {
+	for _, build := range []func([]geom.Point, int) (*HDDiagram, error){
+		BuildBaselineHD, BuildScanningHD, BuildDSGHD,
+	} {
+		d, err := build(nil, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Grid.NumCells() != 1 || len(d.cells[0]) != 0 {
+			t.Fatal("empty dataset: single empty cell expected")
+		}
+	}
+}
+
+func TestGlobalHDMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, alg := range []HDAlgorithm{HDAlgBaseline, HDAlgDSG, HDAlgScanning} {
+		pts := genGPHD(rng, 6, 3)
+		gd, err := BuildGlobalHD(pts, 3, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < gd.Grid.NumCells(); off++ {
+			idx := gd.Grid.Unflatten(off)
+			// Representative interior query for the hyper-cell.
+			q := repQueryHD(gd.Grid, idx)
+			want := geom.SortIDs(geom.IDs(skyline.GlobalSkyline(pts, q)))
+			got := gd.Cell(idx)
+			if len(got) != len(want) {
+				t.Fatalf("%s cell %v: got %v want %v", alg, idx, got, want)
+			}
+			for k := range want {
+				if int(got[k]) != want[k] {
+					t.Fatalf("%s cell %v: got %v want %v", alg, idx, got, want)
+				}
+			}
+		}
+		// Query path.
+		q := geom.Pt(-1, 0.5, 0.5, 0.5)
+		if _, err := gd.Query(q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gd.Query(geom.Pt2(-1, 1, 2)); err == nil {
+			t.Fatal("wrong-dimension query must fail")
+		}
+	}
+	if _, err := BuildGlobalHD(nil, 3, HDAlgorithm("nope")); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+	if _, err := BuildGlobalHD([]geom.Point{geom.Pt2(0, 1, 2)}, 3, HDAlgBaseline); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+}
+
+// repQueryHD returns an interior point of the hyper-cell idx.
+func repQueryHD(hg *grid.HyperGrid, idx []int) geom.Point {
+	c := make([]float64, hg.Dim())
+	for a, i := range idx {
+		vs := hg.Axes[a]
+		switch {
+		case len(vs) == 0:
+			c[a] = 0
+		case i == 0:
+			c[a] = vs[0] - 1
+		case i >= len(vs):
+			c[a] = vs[len(vs)-1] + 1
+		default:
+			c[a] = (vs[i-1] + vs[i]) / 2
+		}
+	}
+	return geom.Point{ID: -1, Coords: c}
+}

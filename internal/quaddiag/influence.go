@@ -1,0 +1,133 @@
+package quaddiag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// InfluenceRegion describes where in query space a given point appears in
+// the skyline result — the dual question to a skyline query, and the
+// region a reverse-skyline application reasons about: a hotel owner asking
+// "where must a guest be for my hotel to show up?" gets this region.
+type InfluenceRegion struct {
+	ID int32
+	// Member[i*rows+j] is true when the point belongs to Sky(C(i,j)).
+	Member     []bool
+	cols, rows int
+	// Cells is the number of member cells; Area the total (finite) area of
+	// the member cells, with unbounded cells clipped at the data extent
+	// plus one unit.
+	Cells int
+	Area  float64
+}
+
+// Influence computes the influence region of the point with the given id.
+func (d *Diagram) Influence(id int) (*InfluenceRegion, error) {
+	found := false
+	for _, p := range d.Points {
+		if p.ID == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("quaddiag: influence: id %d not in the dataset", id)
+	}
+	g := d.Grid
+	r := &InfluenceRegion{
+		ID:     int32(id),
+		Member: make([]bool, g.Cols()*g.Rows()),
+		cols:   g.Cols(),
+		rows:   g.Rows(),
+	}
+	// Clip unbounded cells one unit beyond the data extent for the area
+	// statistic.
+	loX, hiX := clipBounds(g.Xs)
+	loY, hiY := clipBounds(g.Ys)
+	for i := 0; i < g.Cols(); i++ {
+		for j := 0; j < g.Rows(); j++ {
+			if !containsID(d.Cell(i, j), int32(id)) {
+				continue
+			}
+			k := i*g.Rows() + j
+			r.Member[k] = true
+			r.Cells++
+			rect := g.CellRect(i, j)
+			w := math.Min(rect.Hi[0], hiX) - math.Max(rect.Lo[0], loX)
+			h := math.Min(rect.Hi[1], hiY) - math.Max(rect.Lo[1], loY)
+			if w > 0 && h > 0 {
+				r.Area += w * h
+			}
+		}
+	}
+	return r, nil
+}
+
+func clipBounds(vs []float64) (lo, hi float64) {
+	if len(vs) == 0 {
+		return -1, 1
+	}
+	return vs[0] - 1, vs[len(vs)-1] + 1
+}
+
+func containsID(ids []int32, id int32) bool {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ids) && ids[lo] == id
+}
+
+// Contains reports whether the query point q sees the region's point in its
+// skyline result.
+func (r *InfluenceRegion) Contains(d *Diagram, q geom.Point) bool {
+	i, j := d.Grid.Locate(q)
+	return r.Member[i*r.rows+j]
+}
+
+// InfluenceRanking returns every point's influence cell-count, descending —
+// the "most broadly competitive" ranking of the dataset. Points that never
+// appear in any result (there are none for quadrant skylines, since each
+// point is its own quadrant's answer just left-below itself) still appear
+// with their counts.
+func (d *Diagram) InfluenceRanking() ([]InfluenceCount, error) {
+	counts := make(map[int32]int)
+	g := d.Grid
+	for i := 0; i < g.Cols(); i++ {
+		for j := 0; j < g.Rows(); j++ {
+			for _, id := range d.Cell(i, j) {
+				counts[id]++
+			}
+		}
+	}
+	out := make([]InfluenceCount, 0, len(d.Points))
+	for _, p := range d.Points {
+		out = append(out, InfluenceCount{ID: int32(p.ID), Cells: counts[int32(p.ID)]})
+	}
+	sortInfluence(out)
+	return out, nil
+}
+
+// InfluenceCount pairs a point with the number of cells whose result
+// includes it.
+type InfluenceCount struct {
+	ID    int32
+	Cells int
+}
+
+func sortInfluence(s []InfluenceCount) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Cells != s[j].Cells {
+			return s[i].Cells > s[j].Cells
+		}
+		return s[i].ID < s[j].ID
+	})
+}

@@ -1,0 +1,117 @@
+package quaddiag
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// BuildBaselineParallel is BuildBaseline with the per-cell work sharded
+// across workers by grid column — the construction is embarrassingly
+// parallel because every cell's skyline is computed independently from the
+// shared sorted point list. workers <= 0 selects GOMAXPROCS. Output is
+// identical to BuildBaseline.
+func BuildBaselineParallel(pts []geom.Point, workers int) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := grid.NewGrid(pts)
+	d := newDiagram(pts, g)
+
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].X() != sorted[b].X() {
+			return sorted[a].X() < sorted[b].X()
+		}
+		return sorted[a].Y() < sorted[b].Y()
+	})
+
+	cols := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range cols {
+				for j := 0; j < g.Rows(); j++ {
+					cx, cy := g.Corner(i, j)
+					var ids []int32
+					var last geom.Point
+					have := false
+					for _, p := range sorted {
+						if !(p.X() > cx && p.Y() > cy) {
+							continue
+						}
+						switch {
+						case !have || p.Y() < last.Y():
+							ids = append(ids, int32(p.ID))
+							last, have = p, true
+						case p.X() == last.X() && p.Y() == last.Y():
+							ids = append(ids, int32(p.ID))
+						}
+					}
+					sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+					d.setCell(i, j, ids) // distinct (i, j) per worker: no contention
+				}
+			}
+		}()
+	}
+	for i := 0; i < g.Cols(); i++ {
+		cols <- i
+	}
+	close(cols)
+	wg.Wait()
+	return d, nil
+}
+
+// BuildGlobalParallel is BuildGlobal with the four reflected quadrant runs
+// executed concurrently. Output is identical to BuildGlobal.
+func BuildGlobalParallel(pts []geom.Point, alg Algorithm) (*GlobalDiagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	g := grid.NewGrid(pts)
+	gd := &GlobalDiagram{
+		Points: pts,
+		Grid:   g,
+		cells:  make([][]int32, g.Cols()*g.Rows()),
+		rows:   g.Rows(),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for mask := 0; mask < 4; mask++ {
+		wg.Add(1)
+		go func(mask int) {
+			defer wg.Done()
+			rd, err := Build(geom.Reflect(pts, mask), alg)
+			if err != nil {
+				errs[mask] = err
+				return
+			}
+			gd.Quadrants[mask] = remap(rd, pts, g, mask)
+		}(mask)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < g.Cols(); i++ {
+		for j := 0; j < g.Rows(); j++ {
+			merged := gd.Quadrants[0].Cell(i, j)
+			for mask := 1; mask < 4; mask++ {
+				merged = mergeDisjoint(merged, gd.Quadrants[mask].Cell(i, j))
+			}
+			gd.cells[i*gd.rows+j] = merged
+		}
+	}
+	return gd, nil
+}

@@ -1,0 +1,70 @@
+package quaddiag
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestBuildBaselineParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 6; trial++ {
+		var pts []geom.Point
+		if trial%2 == 0 {
+			pts = genGP(rng, 1+rng.Intn(40))
+		} else {
+			// Tied data too.
+			n := 1 + rng.Intn(40)
+			pts = make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Pt2(i, float64(rng.Intn(8)), float64(rng.Intn(8)))
+			}
+		}
+		serial, err := BuildBaseline(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 3, 8} {
+			par, err := BuildBaselineParallel(pts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !serial.Equal(par) {
+				t.Fatalf("trial %d workers=%d: parallel differs from serial", trial, workers)
+			}
+		}
+	}
+	// Empty dataset.
+	par, err := BuildBaselineParallel(nil, 4)
+	if err != nil || len(par.Cell(0, 0)) != 0 {
+		t.Fatalf("empty parallel build: %v %v", par, err)
+	}
+}
+
+func TestBuildGlobalParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := genGP(rng, 30)
+	serial, err := BuildGlobal(pts, AlgScanning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildGlobalParallel(pts, AlgScanning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < serial.Grid.Cols(); i++ {
+		for j := 0; j < serial.Grid.Rows(); j++ {
+			if !equalIDs(serial.Cell(i, j), par.Cell(i, j)) {
+				t.Fatalf("cell (%d,%d): %v vs %v", i, j, serial.Cell(i, j), par.Cell(i, j))
+			}
+		}
+	}
+	// Error propagation: sweeping-style failure via bad dimension.
+	if _, err := BuildGlobalParallel([]geom.Point{geom.Pt(0, 1, 2, 3)}, AlgScanning); err == nil {
+		t.Fatal("3-D input must fail")
+	}
+	if _, err := BuildGlobalParallel(pts, Algorithm("nope")); err == nil {
+		t.Fatal("unknown algorithm must propagate")
+	}
+}

@@ -1,0 +1,31 @@
+package quaddiag
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Export returns the diagram's points and per-cell results (row-major,
+// cells[i*rows+j]) for serialization. The slices are the diagram's own;
+// callers must treat them as read-only.
+func (d *Diagram) Export() (pts []geom.Point, cells [][]int32) {
+	return d.Points, d.cells
+}
+
+// FromCells reconstructs a Diagram from serialized state: the original
+// points and the row-major per-cell results. It validates the cell count
+// against the grid implied by the points.
+func FromCells(pts []geom.Point, cells [][]int32) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	g := grid.NewGrid(pts)
+	if len(cells) != g.NumCells() {
+		return nil, fmt.Errorf("quaddiag: %d cells for a %dx%d grid", len(cells), g.Cols(), g.Rows())
+	}
+	d := newDiagram(pts, g)
+	copy(d.cells, cells)
+	return d, nil
+}

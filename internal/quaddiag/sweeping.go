@@ -1,0 +1,189 @@
+package quaddiag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/polyomino"
+)
+
+// SweepDiagram is the output of the sweeping algorithm: the skyline
+// polyominoes of the quadrant skyline diagram, represented by their vertex
+// rings, built without computing a single skyline. The plane is clipped at
+// Lo on both axes (the paper clips at the coordinate axes; we clip two units
+// below the smallest coordinate so the construction works for any input
+// range), and the unbounded region up-right of all points — whose quadrant
+// skyline is empty — is not represented by a ring.
+type SweepDiagram struct {
+	Points []geom.Point
+	Rings  []polyomino.Ring
+	// Corners[k] is the upper-right corner vertex of Rings[k], the
+	// intersection point that uniquely identifies the polyomino.
+	Corners []polyomino.Vertex
+	Lo      float64
+}
+
+type vkey struct{ x, y float64 }
+
+// sweepLinks is the doubly-linked arrangement of intersection points of
+// Algorithm 4 lines 1–11: every vertex knows its left/right neighbour along
+// its horizontal line and its lower/upper neighbour along its vertical line.
+type sweepLinks struct {
+	left, right, lower, upper map[vkey]vkey
+}
+
+// BuildSweeping computes the quadrant skyline polyominoes with Algorithm 4:
+// each point contributes two half-open rays (downward and leftward); the
+// rays are intersected, intersection points are linked to their neighbours,
+// and each intersection point of two point rays is the upper-right corner of
+// exactly one polyomino whose vertex ring is traced left, then alternately
+// down and right, until it returns under the corner. O(n^2) overall.
+// Requires general position.
+func BuildSweeping(pts []geom.Point) (*SweepDiagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	if err := requireGeneralPosition(pts); err != nil {
+		return nil, err
+	}
+	lo := -1.0
+	for _, p := range pts {
+		lo = math.Min(lo, math.Min(p.X(), p.Y())-2)
+	}
+	sd := &SweepDiagram{Points: pts, Lo: lo}
+	if len(pts) == 0 {
+		return sd, nil
+	}
+
+	links := &sweepLinks{
+		left:  make(map[vkey]vkey),
+		right: make(map[vkey]vkey),
+		lower: make(map[vkey]vkey),
+		upper: make(map[vkey]vkey),
+	}
+
+	// Points sorted by descending y: a point's horizontal ray intersects the
+	// vertical rays of points processed before it (larger y) that lie to its
+	// left, which is the sorted-queue insertion of Algorithm 4 lines 2–10.
+	byY := append([]geom.Point(nil), pts...)
+	sort.Slice(byY, func(a, b int) bool { return byY[a].Y() > byY[b].Y() })
+	var queueX []float64 // x's of already-processed (higher) points, sorted
+	var corners []vkey
+
+	for _, p := range byY {
+		// Horizontal line y=p.y: boundary, crossings with left-upper rays,
+		// then p itself.
+		xs := []float64{lo}
+		k := sort.SearchFloat64s(queueX, p.X())
+		xs = append(xs, queueX[:k]...)
+		xs = append(xs, p.X())
+		for t := 0; t+1 < len(xs); t++ {
+			a, b := vkey{xs[t], p.Y()}, vkey{xs[t+1], p.Y()}
+			links.right[a] = b
+			links.left[b] = a
+		}
+		// Every crossing on this line except the boundary one is a polyomino
+		// corner; p itself is the corner of its own lower-left region.
+		for _, x := range xs[1:] {
+			corners = append(corners, vkey{x, p.Y()})
+		}
+		queueX = append(queueX, 0)
+		copy(queueX[k+1:], queueX[k:])
+		queueX[k] = p.X()
+	}
+
+	// Vertical lines, symmetric: x=p.x crosses the horizontal rays of points
+	// below p that lie to its right.
+	byX := append([]geom.Point(nil), pts...)
+	sort.Slice(byX, func(a, b int) bool { return byX[a].X() > byX[b].X() })
+	var queueY []float64 // y's of already-processed (larger-x) points, sorted
+	for _, p := range byX {
+		ys := []float64{lo}
+		k := sort.SearchFloat64s(queueY, p.Y())
+		ys = append(ys, queueY[:k]...)
+		ys = append(ys, p.Y())
+		for t := 0; t+1 < len(ys); t++ {
+			a, b := vkey{p.X(), ys[t]}, vkey{p.X(), ys[t+1]}
+			links.upper[a] = b
+			links.lower[b] = a
+		}
+		queueY = append(queueY, 0)
+		copy(queueY[k+1:], queueY[k:])
+		queueY[k] = p.Y()
+	}
+
+	// Boundary lines: y=lo carries (p.x, lo) for every p; x=lo carries
+	// (lo, p.y). Link them so ring traces can run along the clipped border.
+	xsAll := make([]float64, 0, len(pts)+1)
+	ysAll := make([]float64, 0, len(pts)+1)
+	xsAll = append(xsAll, lo)
+	ysAll = append(ysAll, lo)
+	for _, p := range pts {
+		xsAll = append(xsAll, p.X())
+		ysAll = append(ysAll, p.Y())
+	}
+	sort.Float64s(xsAll)
+	sort.Float64s(ysAll)
+	for t := 0; t+1 < len(xsAll); t++ {
+		a, b := vkey{xsAll[t], lo}, vkey{xsAll[t+1], lo}
+		links.right[a] = b
+		links.left[b] = a
+	}
+	for t := 0; t+1 < len(ysAll); t++ {
+		a, b := vkey{lo, ysAll[t]}, vkey{lo, ysAll[t+1]}
+		links.upper[a] = b
+		links.lower[b] = a
+	}
+
+	// Deterministic output order: by corner (y, x).
+	sort.Slice(corners, func(a, b int) bool {
+		if corners[a].y != corners[b].y {
+			return corners[a].y < corners[b].y
+		}
+		return corners[a].x < corners[b].x
+	})
+
+	// Lines 12–16: trace each corner's ring.
+	for _, g0 := range corners {
+		ring := polyomino.Ring{{X: g0.x, Y: g0.y}}
+		g, ok := links.left[g0]
+		if !ok {
+			return nil, traceError(g0, "no left neighbour")
+		}
+		ring = append(ring, polyomino.Vertex{X: g.x, Y: g.y})
+		for g.x != g0.x {
+			gl, ok := links.lower[g]
+			if !ok {
+				return nil, traceError(g, "no lower neighbour")
+			}
+			g = gl
+			ring = append(ring, polyomino.Vertex{X: g.x, Y: g.y})
+			gr, ok := links.right[g]
+			if !ok {
+				return nil, traceError(g, "no right neighbour")
+			}
+			g = gr
+			ring = append(ring, polyomino.Vertex{X: g.x, Y: g.y})
+		}
+		sd.Rings = append(sd.Rings, ring)
+		sd.Corners = append(sd.Corners, polyomino.Vertex{X: g0.x, Y: g0.y})
+	}
+	return sd, nil
+}
+
+func traceError(g vkey, msg string) error {
+	return &TraceError{X: g.x, Y: g.y, Msg: msg}
+}
+
+// TraceError reports a broken ring trace; it indicates an input violating
+// the construction's assumptions.
+type TraceError struct {
+	X, Y float64
+	Msg  string
+}
+
+func (e *TraceError) Error() string {
+	return fmt.Sprintf("quaddiag: sweeping trace failed at (%g, %g): %s", e.X, e.Y, e.Msg)
+}

@@ -1,0 +1,166 @@
+package quaddiag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// Incremental maintenance. The paper builds diagrams statically; these
+// operations keep a quadrant diagram current under point insertions and
+// deletions without a full rebuild, using the sweeping algorithm's locality
+// observation: a point influences only the cells in its lower-left region.
+//
+//   - Insert: every unaffected cell is copied; an affected cell's new result
+//     is derived from its old one in O(result) time, because the only
+//     candidate whose relationships changed is the new point (if any old
+//     skyline member dominates it the result is untouched; otherwise it
+//     joins and evicts exactly the members it dominates).
+//   - Delete: unaffected cells are copied; affected cells are recomputed
+//     from the sorted point list (removing a point can expose points the
+//     old result does not mention, so a copy-based derivation would need
+//     the dominance graph; a linear rescan of O(rank_x · rank_y) cells is
+//     the simple robust choice).
+//
+// Both return a new Diagram; the receiver is unchanged.
+
+// WithInsert returns the diagram of Points ∪ {p}.
+func (d *Diagram) WithInsert(p geom.Point) (*Diagram, error) {
+	if p.Dim() != 2 {
+		return nil, fmt.Errorf("quaddiag: insert requires a 2-D point, got dimension %d", p.Dim())
+	}
+	for _, q := range d.Points {
+		if q.ID == p.ID {
+			return nil, fmt.Errorf("quaddiag: insert: id %d already present", p.ID)
+		}
+	}
+	pts := make([]geom.Point, len(d.Points)+1)
+	copy(pts, d.Points)
+	pts[len(d.Points)] = p
+
+	g := grid.NewGrid(pts)
+	nd := newDiagram(pts, g)
+	byID := pointIndex(d.Points)
+	for i := 0; i < g.Cols(); i++ {
+		for j := 0; j < g.Rows(); j++ {
+			cx, cy := g.Corner(i, j)
+			// Old lines ⊆ new lines: exactly one old cell contains this one.
+			oi := countLE(d.Grid.Xs, cx)
+			oj := countLE(d.Grid.Ys, cy)
+			old := d.Cell(oi, oj)
+			if !(p.X() > cx && p.Y() > cy) {
+				nd.setCell(i, j, old) // p is not a candidate here
+				continue
+			}
+			nd.setCell(i, j, insertIntoResult(byID, old, p))
+		}
+	}
+	return nd, nil
+}
+
+// insertIntoResult derives Sky(candidates ∪ {p}) from Sky(candidates).
+func insertIntoResult(byID map[int32]geom.Point, old []int32, p geom.Point) []int32 {
+	// If any old member dominates p, nothing changes: transitivity
+	// guarantees a dominated candidate is dominated by a skyline member.
+	for _, id := range old {
+		if geom.Dominates(byID[id], p) {
+			return old
+		}
+	}
+	out := make([]int32, 0, len(old)+1)
+	inserted := false
+	for _, id := range old {
+		if geom.Dominates(p, byID[id]) {
+			continue // evicted by p
+		}
+		if !inserted && int32(p.ID) < id {
+			out = append(out, int32(p.ID))
+			inserted = true
+		}
+		out = append(out, id)
+	}
+	if !inserted {
+		out = append(out, int32(p.ID))
+	}
+	return out
+}
+
+// WithDelete returns the diagram of Points \ {id}.
+func (d *Diagram) WithDelete(id int) (*Diagram, error) {
+	var removed geom.Point
+	found := false
+	pts := make([]geom.Point, 0, len(d.Points))
+	for _, q := range d.Points {
+		if q.ID == id {
+			removed = q
+			found = true
+			continue
+		}
+		pts = append(pts, q)
+	}
+	if !found {
+		return nil, fmt.Errorf("quaddiag: delete: id %d not present", id)
+	}
+	g := grid.NewGrid(pts)
+	nd := newDiagram(pts, g)
+
+	// Pass 1: copy every unaffected cell. New lines ⊆ old lines, and any old
+	// cell inside a new one carries the same (unchanged) result — the halves
+	// across the removed point's lines can only differ where the removed
+	// point was a candidate.
+	iMax := countLT(g.Xs, removed.X())
+	jMax := countLT(g.Ys, removed.Y())
+	for i := 0; i < g.Cols(); i++ {
+		for j := 0; j < g.Rows(); j++ {
+			if i <= iMax && j <= jMax {
+				continue // affected; pass 2
+			}
+			cx, cy := g.Corner(i, j)
+			oi := countLE(d.Grid.Xs, cx)
+			oj := countLE(d.Grid.Ys, cy)
+			nd.setCell(i, j, d.Cell(oi, oj))
+		}
+	}
+	// Pass 2: recompute the affected lower-left rectangle with the Theorem 1
+	// identity, top-right to bottom-left. Every up/right neighbour is either
+	// unaffected (copied in pass 1) or already recomputed, and out-of-range
+	// neighbours are empty — exactly the scanning construction restricted to
+	// the removed point's influence region.
+	byXY := grid.IndexByCoords(pts)
+	cellOrNil := func(i, j int) []int32 {
+		if i >= g.Cols() || j >= g.Rows() {
+			return nil
+		}
+		return nd.Cell(i, j)
+	}
+	for i := iMax; i >= 0; i-- {
+		for j := jMax; j >= 0; j-- {
+			if ps := g.PointsAtUpperRight(i, j, byXY); len(ps) > 0 {
+				nd.setCell(i, j, sortedIDs(ps))
+				continue
+			}
+			nd.setCell(i, j, mergeSubtract(cellOrNil(i+1, j), cellOrNil(i, j+1), cellOrNil(i+1, j+1)))
+		}
+	}
+	return nd, nil
+}
+
+// countLT returns the number of sorted values < v.
+func countLT(vs []float64, v float64) int {
+	return sort.Search(len(vs), func(k int) bool { return vs[k] >= v })
+}
+
+// countLE returns the number of sorted values <= v.
+func countLE(vs []float64, v float64) int {
+	return sort.Search(len(vs), func(k int) bool { return vs[k] > v })
+}
+
+func pointIndex(pts []geom.Point) map[int32]geom.Point {
+	m := make(map[int32]geom.Point, len(pts))
+	for _, p := range pts {
+		m[int32(p.ID)] = p
+	}
+	return m
+}

@@ -1,0 +1,109 @@
+// Package rskyline answers reverse skyline queries — the first application
+// the paper lists for the skyline diagram (Section I), analogous to using a
+// Voronoi diagram for reverse nearest-neighbour queries.
+//
+// Following Dellis & Seeger's definition, the reverse skyline of a query q
+// is the set of data points p whose dynamic skyline (with p as the query
+// point) would contain q if q were a record: no data point r may sit, on
+// every axis, between p and q as seen from p — that is, no r with
+// |r[i]−p[i]| <= |q[i]−p[i]| for all i (strict somewhere).
+//
+// Two evaluators are provided: a brute-force O(n^2) reference and a pruned
+// evaluator that indexes the dataset on x and only inspects points whose x
+// lies in the window [p.x − dx, p.x + dx], which is the only place a
+// dynamic dominator of q can live.
+package rskyline
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// dynDominatesAt reports whether r dynamically dominates candidate c with
+// respect to query point p.
+func dynDominatesAt(r, c, p geom.Point) bool {
+	strict := false
+	for i := range p.Coords {
+		dr := math.Abs(r.Coords[i] - p.Coords[i])
+		dc := math.Abs(c.Coords[i] - p.Coords[i])
+		if dr > dc {
+			return false
+		}
+		if dr < dc {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Brute computes the reverse skyline of q by definition: for every point p,
+// check whether some other point dynamically dominates q w.r.t. p.
+func Brute(pts []geom.Point, q geom.Point) []geom.Point {
+	var out []geom.Point
+	for _, p := range pts {
+		inRSL := true
+		for _, r := range pts {
+			if r.ID == p.ID {
+				continue
+			}
+			if dynDominatesAt(r, q, p) {
+				inRSL = false
+				break
+			}
+		}
+		if inRSL {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Index is a reusable reverse-skyline evaluator over a fixed dataset.
+type Index struct {
+	pts  []geom.Point // sorted ascending by x
+	xs   []float64
+	orig []geom.Point
+}
+
+// NewIndex builds the x-sorted index.
+func NewIndex(pts []geom.Point) *Index {
+	s := make([]geom.Point, len(pts))
+	copy(s, pts)
+	sort.Slice(s, func(i, j int) bool { return s[i].X() < s[j].X() })
+	xs := make([]float64, len(s))
+	for i, p := range s {
+		xs[i] = p.X()
+	}
+	return &Index{pts: s, xs: xs, orig: pts}
+}
+
+// Query computes the reverse skyline of q. For each candidate p only points
+// r with |r.x − p.x| <= |q.x − p.x| can dominate q w.r.t. p, so the scan is
+// restricted to that window of the x-sorted list. Worst case O(n^2), but on
+// realistic data the window holds a small fraction of the points.
+func (ix *Index) Query(q geom.Point) []geom.Point {
+	var out []geom.Point
+	for _, p := range ix.orig {
+		dx := math.Abs(q.X() - p.X())
+		lo := sort.SearchFloat64s(ix.xs, p.X()-dx)
+		hi := sort.SearchFloat64s(ix.xs, math.Nextafter(p.X()+dx, math.Inf(1)))
+		inRSL := true
+		for _, r := range ix.pts[lo:hi] {
+			if r.ID == p.ID {
+				continue
+			}
+			if dynDominatesAt(r, q, p) {
+				inRSL = false
+				break
+			}
+		}
+		if inRSL {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

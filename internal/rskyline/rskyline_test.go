@@ -1,0 +1,93 @@
+package rskyline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/skyline"
+)
+
+func randomPts(rng *rand.Rand, n, d int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := make([]float64, d)
+		for j := range c {
+			c[j] = rng.Float64() * 100
+		}
+		pts[i] = geom.Point{ID: i, Coords: c}
+	}
+	return pts
+}
+
+func TestIndexMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + trial%2
+		pts := randomPts(rng, 60, d)
+		qc := make([]float64, d)
+		for j := range qc {
+			qc[j] = rng.Float64() * 100
+		}
+		q := geom.Point{ID: -1, Coords: qc}
+		want := Brute(pts, q)
+		got := NewIndex(pts).Query(q)
+		if !geom.EqualIDSets(geom.IDs(got), geom.IDs(want)) {
+			t.Fatalf("trial %d: index %v, brute %v", trial, geom.IDs(got), geom.IDs(want))
+		}
+	}
+}
+
+func TestReverseSkylineDefinition(t *testing.T) {
+	// p is in the reverse skyline of q exactly when q is in the dynamic
+	// skyline of P ∪ {q} with p as the query point (q treated as a record).
+	rng := rand.New(rand.NewSource(2))
+	pts := randomPts(rng, 25, 2)
+	q := geom.Pt2(1000, rng.Float64()*100, rng.Float64()*100)
+	rsl := make(map[int]bool)
+	for _, p := range Brute(pts, q) {
+		rsl[p.ID] = true
+	}
+	for _, p := range pts {
+		// Dynamic skyline of (P \ {p}) ∪ {q} w.r.t. p: p itself maps to the
+		// origin and would trivially dominate everything, so it is excluded,
+		// matching the standard reverse-skyline definition.
+		all := make([]geom.Point, 0, len(pts))
+		for _, r := range pts {
+			if r.ID != p.ID {
+				all = append(all, r)
+			}
+		}
+		all = append(all, q)
+		dyn := skyline.DynamicSkyline(all, p)
+		qIn := false
+		for _, s := range dyn {
+			if s.ID == q.ID {
+				qIn = true
+			}
+		}
+		if qIn != rsl[p.ID] {
+			t.Fatalf("p%d: q in DynSky = %v, in RSL = %v", p.ID, qIn, rsl[p.ID])
+		}
+	}
+}
+
+func TestSmallCases(t *testing.T) {
+	if got := Brute(nil, geom.Pt2(-1, 0, 0)); got != nil {
+		t.Fatal("empty dataset has empty reverse skyline")
+	}
+	one := []geom.Point{geom.Pt2(0, 5, 5)}
+	got := Brute(one, geom.Pt2(-1, 1, 1))
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("singleton reverse skyline = %v", got)
+	}
+	// A point exactly between p and q on both axes evicts p.
+	pts := []geom.Point{geom.Pt2(0, 0, 0), geom.Pt2(1, 1, 1)}
+	q := geom.Pt2(-1, 2, 2)
+	got = Brute(pts, q)
+	// For p0=(0,0): r=(1,1) has |r-p|=(1,1) <= |q-p|=(2,2) strict → p0 out.
+	// For p1=(1,1): r=(0,0) has |r-p|=(1,1) vs |q-p|=(1,1), no strict → p1 in.
+	if !geom.EqualIDSets(geom.IDs(got), []int{1}) {
+		t.Fatalf("reverse skyline = %v, want [1]", geom.IDs(got))
+	}
+}

@@ -1,0 +1,516 @@
+// Package rtree provides an in-memory R-tree over points, bulk-loaded with
+// the Sort-Tile-Recursive (STR) packing algorithm, plus the two classic
+// query algorithms the skyline literature runs on it:
+//
+//   - BBS — branch-and-bound skyline (Papadias et al.), the standard
+//     from-scratch skyline evaluator used as the query-time comparator for
+//     precomputation approaches like the skyline diagram (experiment E8).
+//   - NearestNeighbor — best-first kNN, used by the Voronoi side of the
+//     paper's analogy.
+//
+// The tree is static (bulk-loaded once), which matches both use cases and
+// keeps the structure simple and cache-friendly.
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// DefaultFanout is the node capacity used when NewSTR is given fanout <= 1.
+const DefaultFanout = 16
+
+// MBR is a minimum bounding rectangle, closed on both ends.
+type MBR struct {
+	Lo, Hi []float64
+}
+
+func (m MBR) contains(p geom.Point) bool {
+	for i := range m.Lo {
+		if p.Coords[i] < m.Lo[i] || p.Coords[i] > m.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// minDistL1 is the L1 distance from the origin-corner metric BBS orders by:
+// the sum of the rectangle's lower coordinates (for points, the coordinate
+// sum). Entries with smaller minDistL1 are expanded first, which guarantees
+// a point is popped only after every point that could dominate it.
+func (m MBR) minDistL1() float64 {
+	var s float64
+	for _, v := range m.Lo {
+		s += v
+	}
+	return s
+}
+
+// minDist2 is the squared Euclidean distance from q to the rectangle.
+func (m MBR) minDist2(q geom.Point) float64 {
+	var s float64
+	for i := range m.Lo {
+		v := q.Coords[i]
+		switch {
+		case v < m.Lo[i]:
+			d := m.Lo[i] - v
+			s += d * d
+		case v > m.Hi[i]:
+			d := v - m.Hi[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+type node struct {
+	mbr      MBR
+	children []*node      // nil for leaves
+	points   []geom.Point // nil for internal nodes
+}
+
+// Tree is a static, STR-packed R-tree.
+type Tree struct {
+	root   *node
+	dim    int
+	size   int
+	height int
+	fanout int
+}
+
+// NewSTR bulk-loads a tree with Sort-Tile-Recursive packing: points are
+// sorted by the first axis, sliced into vertical runs, each run sorted by
+// the next axis, recursively, so that leaves tile space with low overlap.
+func NewSTR(pts []geom.Point, fanout int) (*Tree, error) {
+	if fanout <= 1 {
+		fanout = DefaultFanout
+	}
+	if len(pts) == 0 {
+		return &Tree{dim: 0, fanout: fanout}, nil
+	}
+	dim := pts[0].Dim()
+	for _, p := range pts {
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("rtree: mixed dimensions (%d and %d)", dim, p.Dim())
+		}
+	}
+	work := make([]geom.Point, len(pts))
+	copy(work, pts)
+	leaves := packLeaves(work, dim, fanout)
+	height := 1
+	level := leaves
+	for len(level) > 1 {
+		level = packNodes(level, dim, fanout)
+		height++
+	}
+	return &Tree{root: level[0], dim: dim, size: len(pts), height: height, fanout: fanout}, nil
+}
+
+// packLeaves tiles the sorted points into leaf nodes of up to fanout points.
+func packLeaves(pts []geom.Point, dim, fanout int) []*node {
+	groups := strTile(pts, dim, 0, fanout, func(a, b geom.Point, axis int) bool {
+		if a.Coords[axis] != b.Coords[axis] {
+			return a.Coords[axis] < b.Coords[axis]
+		}
+		return a.ID < b.ID
+	})
+	leaves := make([]*node, 0, len(groups))
+	for _, g := range groups {
+		n := &node{points: g}
+		n.mbr = pointsMBR(g, dim)
+		leaves = append(leaves, n)
+	}
+	return leaves
+}
+
+// strTile recursively slices items into runs along successive axes so each
+// final group has at most fanout members.
+func strTile(pts []geom.Point, dim, axis, fanout int, less func(a, b geom.Point, axis int) bool) [][]geom.Point {
+	if len(pts) <= fanout {
+		return [][]geom.Point{pts}
+	}
+	sort.Slice(pts, func(i, j int) bool { return less(pts[i], pts[j], axis) })
+	if axis == dim-1 {
+		var out [][]geom.Point
+		for i := 0; i < len(pts); i += fanout {
+			end := i + fanout
+			if end > len(pts) {
+				end = len(pts)
+			}
+			out = append(out, pts[i:end:end])
+		}
+		return out
+	}
+	// Number of slabs: ceil((n/fanout)^(1/(remaining axes))).
+	numGroups := (len(pts) + fanout - 1) / fanout
+	slabs := int(math.Ceil(math.Pow(float64(numGroups), 1/float64(dim-axis))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	per := (len(pts) + slabs - 1) / slabs
+	var out [][]geom.Point
+	for i := 0; i < len(pts); i += per {
+		end := i + per
+		if end > len(pts) {
+			end = len(pts)
+		}
+		out = append(out, strTile(pts[i:end:end], dim, axis+1, fanout, less)...)
+	}
+	return out
+}
+
+func packNodes(level []*node, dim, fanout int) []*node {
+	sort.Slice(level, func(i, j int) bool { return level[i].mbr.Lo[0] < level[j].mbr.Lo[0] })
+	var out []*node
+	for i := 0; i < len(level); i += fanout {
+		end := i + fanout
+		if end > len(level) {
+			end = len(level)
+		}
+		n := &node{children: level[i:end:end]}
+		n.mbr = childrenMBR(n.children, dim)
+		out = append(out, n)
+	}
+	return out
+}
+
+func pointsMBR(pts []geom.Point, dim int) MBR {
+	m := MBR{Lo: make([]float64, dim), Hi: make([]float64, dim)}
+	for i := range m.Lo {
+		m.Lo[i], m.Hi[i] = math.Inf(1), math.Inf(-1)
+	}
+	for _, p := range pts {
+		for i, v := range p.Coords {
+			m.Lo[i] = math.Min(m.Lo[i], v)
+			m.Hi[i] = math.Max(m.Hi[i], v)
+		}
+	}
+	return m
+}
+
+func childrenMBR(children []*node, dim int) MBR {
+	m := MBR{Lo: make([]float64, dim), Hi: make([]float64, dim)}
+	for i := range m.Lo {
+		m.Lo[i], m.Hi[i] = math.Inf(1), math.Inf(-1)
+	}
+	for _, c := range children {
+		for i := range m.Lo {
+			m.Lo[i] = math.Min(m.Lo[i], c.mbr.Lo[i])
+			m.Hi[i] = math.Max(m.Hi[i], c.mbr.Hi[i])
+		}
+	}
+	return m
+}
+
+// Size returns the number of indexed points.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels (0 for an empty tree).
+func (t *Tree) Height() int { return t.height }
+
+// RangeSearch returns the points inside the closed rectangle [lo, hi].
+func (t *Tree) RangeSearch(lo, hi []float64) ([]geom.Point, error) {
+	if t.root == nil {
+		return nil, nil
+	}
+	if len(lo) != t.dim || len(hi) != t.dim {
+		return nil, fmt.Errorf("rtree: range dimension %d/%d, tree dimension %d", len(lo), len(hi), t.dim)
+	}
+	q := MBR{Lo: lo, Hi: hi}
+	var out []geom.Point
+	var walk func(n *node)
+	walk = func(n *node) {
+		if !overlaps(n.mbr, q) {
+			return
+		}
+		if n.points != nil {
+			for _, p := range n.points {
+				if q.contains(p) {
+					out = append(out, p)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+func overlaps(a, b MBR) bool {
+	for i := range a.Lo {
+		if a.Hi[i] < b.Lo[i] || b.Hi[i] < a.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- best-first priority queue ----------------------------------------------
+
+type pqItem struct {
+	key   float64
+	node  *node      // nil when the item is a point
+	point geom.Point // valid when node == nil
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].key < q[j].key }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// BBS computes the skyline with branch-and-bound: expand entries in
+// ascending L1 distance of their lower corner; an entry is pruned if its
+// lower corner is dominated by an already-accepted skyline point, and a
+// popped point is a skyline point iff it is not dominated. Visits only the
+// nodes that can contain skyline points. Result in ascending ID order.
+func (t *Tree) BBS() []geom.Point {
+	if t.root == nil {
+		return nil
+	}
+	var sky []geom.Point
+	h := &pq{{key: t.root.mbr.minDistL1(), node: t.root}}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.node == nil {
+			if !dominatedBy(sky, it.point) {
+				sky = append(sky, it.point)
+			}
+			continue
+		}
+		if dominatedByCoords(sky, it.node.mbr.Lo) {
+			continue
+		}
+		if it.node.points != nil {
+			for _, p := range it.node.points {
+				if !dominatedBy(sky, p) {
+					heap.Push(h, pqItem{key: pointL1(p), point: p})
+				}
+			}
+			continue
+		}
+		for _, c := range it.node.children {
+			if !dominatedByCoords(sky, c.mbr.Lo) {
+				heap.Push(h, pqItem{key: c.mbr.minDistL1(), node: c})
+			}
+		}
+	}
+	sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
+	return sky
+}
+
+func pointL1(p geom.Point) float64 {
+	var s float64
+	for _, v := range p.Coords {
+		s += v
+	}
+	return s
+}
+
+func dominatedBy(sky []geom.Point, p geom.Point) bool {
+	for _, s := range sky {
+		if geom.Dominates(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// dominatedByCoords prunes an MBR when an accepted skyline point dominates
+// every possible point inside: s <= corner on all axes AND strictly below on
+// at least one. Without the strictness requirement a box whose corner
+// coincides with s could hide an exact duplicate of s, which is
+// incomparable and belongs in the skyline.
+func dominatedByCoords(sky []geom.Point, lo []float64) bool {
+	for _, s := range sky {
+		all, strict := true, false
+		for i, v := range s.Coords {
+			if v > lo[i] {
+				all = false
+				break
+			}
+			if v < lo[i] {
+				strict = true
+			}
+		}
+		if all && strict {
+			return true
+		}
+	}
+	return false
+}
+
+// BBSConstrained computes the skyline of the points strictly greater than
+// lo on every axis — a quadrant skyline query evaluated directly on the
+// shared tree, without materialising the quadrant. Subtrees with no point
+// beyond lo on some axis are pruned; ordering and dominance pruning work as
+// in BBS, with node keys taken at the quadrant-clipped lower corner.
+func (t *Tree) BBSConstrained(lo []float64) ([]geom.Point, error) {
+	if t.root == nil {
+		return nil, nil
+	}
+	if len(lo) != t.dim {
+		return nil, fmt.Errorf("rtree: constraint dimension %d, tree dimension %d", len(lo), t.dim)
+	}
+	inQuadrant := func(p geom.Point) bool {
+		for i, v := range lo {
+			if p.Coords[i] <= v {
+				return false
+			}
+		}
+		return true
+	}
+	reachable := func(m MBR) bool {
+		for i, v := range lo {
+			if m.Hi[i] <= v {
+				return false
+			}
+		}
+		return true
+	}
+	clippedKey := func(m MBR) float64 {
+		var s float64
+		for i := range m.Lo {
+			s += math.Max(m.Lo[i], lo[i])
+		}
+		return s
+	}
+	var sky []geom.Point
+	h := &pq{{key: clippedKey(t.root.mbr), node: t.root}}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.node == nil {
+			if !dominatedBy(sky, it.point) {
+				sky = append(sky, it.point)
+			}
+			continue
+		}
+		if !reachable(it.node.mbr) || dominatedClipped(sky, it.node.mbr, lo) {
+			continue
+		}
+		if it.node.points != nil {
+			for _, p := range it.node.points {
+				if inQuadrant(p) && !dominatedBy(sky, p) {
+					heap.Push(h, pqItem{key: pointL1(p), point: p})
+				}
+			}
+			continue
+		}
+		for _, c := range it.node.children {
+			if reachable(c.mbr) && !dominatedClipped(sky, c.mbr, lo) {
+				heap.Push(h, pqItem{key: clippedKey(c.mbr), node: c})
+			}
+		}
+	}
+	sort.Slice(sky, func(i, j int) bool { return sky[i].ID < sky[j].ID })
+	return sky, nil
+}
+
+// dominatedClipped prunes an MBR whose quadrant-clipped lower corner is
+// strictly dominated by an accepted skyline point (same strictness rule as
+// dominatedByCoords).
+func dominatedClipped(sky []geom.Point, m MBR, lo []float64) bool {
+	for _, s := range sky {
+		all, strict := true, false
+		for i, v := range s.Coords {
+			c := math.Max(m.Lo[i], lo[i])
+			if v > c {
+				all = false
+				break
+			}
+			if v < c {
+				strict = true
+			}
+		}
+		if all && strict {
+			return true
+		}
+	}
+	return false
+}
+
+// NearestNeighbors returns the k nearest points to q, closest first, via
+// best-first search.
+func (t *Tree) NearestNeighbors(q geom.Point, k int) ([]geom.Point, error) {
+	if t.root == nil || k <= 0 {
+		return nil, nil
+	}
+	if q.Dim() != t.dim {
+		return nil, fmt.Errorf("rtree: query dimension %d, tree dimension %d", q.Dim(), t.dim)
+	}
+	h := &pq{{key: t.root.mbr.minDist2(q), node: t.root}}
+	heap.Init(h)
+	var out []geom.Point
+	for h.Len() > 0 && len(out) < k {
+		it := heap.Pop(h).(pqItem)
+		if it.node == nil {
+			out = append(out, it.point)
+			continue
+		}
+		if it.node.points != nil {
+			for _, p := range it.node.points {
+				heap.Push(h, pqItem{key: dist2(p, q), point: p})
+			}
+			continue
+		}
+		for _, c := range it.node.children {
+			heap.Push(h, pqItem{key: c.mbr.minDist2(q), node: c})
+		}
+	}
+	return out, nil
+}
+
+func dist2(a, b geom.Point) float64 {
+	var s float64
+	for i := range a.Coords {
+		d := a.Coords[i] - b.Coords[i]
+		s += d * d
+	}
+	return s
+}
+
+// Stats describes the packed tree, for tests and diagnostics.
+type Stats struct {
+	Nodes, Leaves, MaxLeafSize int
+}
+
+// ComputeStats walks the tree.
+func (t *Tree) ComputeStats() Stats {
+	var st Stats
+	if t.root == nil {
+		return st
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		st.Nodes++
+		if n.points != nil {
+			st.Leaves++
+			if len(n.points) > st.MaxLeafSize {
+				st.MaxLeafSize = len(n.points)
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return st
+}

@@ -1,0 +1,261 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/skyline"
+	"repro/internal/voronoi"
+)
+
+func randomPts(rng *rand.Rand, n, d, domain int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := make([]float64, d)
+		for j := range c {
+			if domain > 0 {
+				c[j] = float64(rng.Intn(domain))
+			} else {
+				c[j] = rng.Float64() * 100
+			}
+		}
+		pts[i] = geom.Point{ID: i, Coords: c}
+	}
+	return pts
+}
+
+func TestSTRStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 15, 16, 17, 500} {
+		pts := randomPts(rng, n, 2, 0)
+		tr, err := NewSTR(pts, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Size() != n {
+			t.Fatalf("n=%d: Size=%d", n, tr.Size())
+		}
+		st := tr.ComputeStats()
+		if n > 0 && st.MaxLeafSize > 16 {
+			t.Fatalf("n=%d: leaf overflow %d", n, st.MaxLeafSize)
+		}
+		if n == 0 && tr.Height() != 0 {
+			t.Fatal("empty tree height must be 0")
+		}
+		// Every point is findable by a degenerate range query.
+		for _, p := range pts[:min(n, 30)] {
+			got, err := tr.RangeSearch(p.Coords, p.Coords)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, g := range got {
+				if g.ID == p.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("point %v lost by the tree", p)
+			}
+		}
+	}
+	if _, err := NewSTR([]geom.Point{geom.Pt2(0, 1, 2), geom.Pt(1, 1, 2, 3)}, 8); err == nil {
+		t.Fatal("mixed dimensions must fail")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRangeSearchMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{2, 3} {
+		pts := randomPts(rng, 300, d, 0)
+		tr, err := NewSTR(pts, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			lo := make([]float64, d)
+			hi := make([]float64, d)
+			for i := range lo {
+				a, b := rng.Float64()*100, rng.Float64()*100
+				if a > b {
+					a, b = b, a
+				}
+				lo[i], hi[i] = a, b
+			}
+			got, err := tr.RangeSearch(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []int
+			for _, p := range pts {
+				in := true
+				for i := range lo {
+					if p.Coords[i] < lo[i] || p.Coords[i] > hi[i] {
+						in = false
+						break
+					}
+				}
+				if in {
+					want = append(want, p.ID)
+				}
+			}
+			if !geom.EqualIDSets(geom.IDs(got), want) {
+				t.Fatalf("d=%d range [%v,%v]: got %v want %v", d, lo, hi, geom.IDs(got), want)
+			}
+		}
+		if _, err := tr.RangeSearch([]float64{0}, []float64{1}); err == nil {
+			t.Fatal("dimension mismatch must fail")
+		}
+	}
+}
+
+func TestBBSMatchesSkyline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + trial%3
+		domain := 0
+		if trial%2 == 0 {
+			domain = 12 // duplicates
+		}
+		pts := randomPts(rng, 200, d, domain)
+		tr, err := NewSTR(pts, 4+trial%13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.BBS()
+		want := skyline.Of(pts)
+		if !geom.EqualIDSets(geom.IDs(got), geom.IDs(want)) {
+			t.Fatalf("trial %d d=%d: BBS %v, skyline %v", trial, d, geom.IDs(got), geom.IDs(want))
+		}
+	}
+	empty, _ := NewSTR(nil, 8)
+	if empty.BBS() != nil {
+		t.Fatal("empty BBS must be nil")
+	}
+}
+
+func TestNearestNeighborsMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPts(rng, 250, 2, 0)
+	tr, err := NewSTR(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := geom.Pt2(-1, rng.Float64()*100, rng.Float64()*100)
+		for _, k := range []int{1, 5, 20} {
+			got, err := tr.NearestNeighbors(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := voronoi.KNearest(pts, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results, want %d", k, len(got), len(want))
+			}
+			// Distances must agree position by position (ids may differ on
+			// exact ties, which are measure-zero here but distances decide).
+			for i := range got {
+				if dist2(got[i], q) != dist2(want[i], q) {
+					t.Fatalf("k=%d position %d: %v vs %v", k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if got, err := tr.NearestNeighbors(geom.Pt2(-1, 0, 0), 0); err != nil || got != nil {
+		t.Fatal("k=0 must return nothing")
+	}
+	if _, err := tr.NearestNeighbors(geom.Pt(-1, 1, 2, 3), 1); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+}
+
+func TestBBSVisitsFewNodes(t *testing.T) {
+	// BBS's point: on correlated data it should accept a tiny skyline from a
+	// large tree. We can't count visits without instrumenting, but we can at
+	// least confirm it is correct on adversarial anti-correlated data where
+	// most points are skyline.
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geom.Point, 300)
+	for i := range pts {
+		x := rng.Float64()
+		pts[i] = geom.Pt2(i, x, 1-x+0.001*rng.Float64())
+	}
+	tr, err := NewSTR(pts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.BBS()
+	want := skyline.Of(pts)
+	if !geom.EqualIDSets(geom.IDs(got), geom.IDs(want)) {
+		t.Fatal("BBS wrong on anti-correlated data")
+	}
+	if len(got) < 100 {
+		t.Fatalf("anti-correlated data should have a large skyline, got %d", len(got))
+	}
+	sorted := append([]geom.Point(nil), got...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+}
+
+func TestBBSKeepsExactDuplicates(t *testing.T) {
+	// A duplicate of a skyline point is incomparable with it and must be
+	// reported — including when the pair straddles leaf boundaries.
+	var pts []geom.Point
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geom.Pt2(i, 5, 5)) // 40 exact duplicates
+	}
+	pts = append(pts, geom.Pt2(100, 1, 9), geom.Pt2(101, 9, 1), geom.Pt2(102, 6, 6))
+	tr, err := NewSTR(pts, 4) // small fanout: duplicates span many leaves
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.BBS()
+	want := skyline.Of(pts)
+	if !geom.EqualIDSets(geom.IDs(got), geom.IDs(want)) {
+		t.Fatalf("duplicates lost: got %d skyline points, want %d", len(got), len(want))
+	}
+}
+
+func TestBBSConstrainedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + trial%2
+		domain := 0
+		if trial%2 == 0 {
+			domain = 10
+		}
+		pts := randomPts(rng, 150, d, domain)
+		tr, err := NewSTR(pts, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := make([]float64, d)
+		for i := range lo {
+			lo[i] = rng.Float64() * 50
+		}
+		got, err := tr.BBSConstrained(lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := skyline.FirstQuadrantSkylineStrict(pts, lo)
+		if !geom.EqualIDSets(geom.IDs(got), geom.IDs(want)) {
+			t.Fatalf("trial %d: constrained BBS %v, oracle %v", trial, geom.IDs(got), geom.IDs(want))
+		}
+	}
+	tr, _ := NewSTR(randomPts(rand.New(rand.NewSource(7)), 10, 2, 0), 8)
+	if _, err := tr.BBSConstrained([]float64{1, 2, 3}); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+	empty, _ := NewSTR(nil, 8)
+	if got, err := empty.BBSConstrained([]float64{0, 0}); err != nil || got != nil {
+		t.Fatal("empty tree constrained BBS must be nil")
+	}
+}

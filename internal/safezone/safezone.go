@@ -1,0 +1,196 @@
+// Package safezone answers continuous skyline queries for moving query
+// points on top of a precomputed skyline diagram.
+//
+// The related work the paper builds on (Huang et al., Lee et al., Cheema et
+// al. — Section II) computes "safe zones": regions in which a moving query's
+// result is guaranteed unchanged. A skyline polyomino is exactly the safe
+// zone of every query inside it, so with the diagram in hand a continuous
+// query reduces to geometry: intersect the trajectory with the diagram's
+// axis-parallel subdivision lines, and the result can only change at those
+// crossing times. Between consecutive crossings the result is constant and
+// is read with one point location.
+//
+// Timeline supports any diagram kind — quadrant, global, and dynamic — via
+// small adapters, because all three subdivisions are unions of axis-parallel
+// lines.
+package safezone
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dyndiag"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/quaddiag"
+)
+
+// Path is a linearly moving query point: position(t) = Start + t·Velocity
+// for t in [0, Duration].
+type Path struct {
+	Start    geom.Point
+	Velocity geom.Point
+	Duration float64
+}
+
+// At returns the position at time t.
+func (p Path) At(t float64) geom.Point {
+	c := make([]float64, p.Start.Dim())
+	for i := range c {
+		c[i] = p.Start.Coords[i] + t*p.Velocity.Coords[i]
+	}
+	return geom.Point{ID: -1, Coords: c}
+}
+
+func (p Path) validate() error {
+	if p.Start.Dim() != 2 || p.Velocity.Dim() != 2 {
+		return fmt.Errorf("safezone: paths are two-dimensional, got start dim %d velocity dim %d",
+			p.Start.Dim(), p.Velocity.Dim())
+	}
+	if p.Duration < 0 || math.IsNaN(p.Duration) || math.IsInf(p.Duration, 0) {
+		return fmt.Errorf("safezone: invalid duration %g", p.Duration)
+	}
+	return nil
+}
+
+// Interval is one segment of a continuous query's timeline: for t in
+// [T0, T1) the skyline result is IDs. The final interval is closed.
+type Interval struct {
+	T0, T1 float64
+	IDs    []int32
+}
+
+// Timeline computes the result timeline of a moving query over a diagram
+// described by its subdivision line positions and a point-location query
+// function. The trajectory crosses each vertical line x = xs[i] at most once
+// (it is a straight line), so the timeline has O(|xs| + |ys|) intervals,
+// each labelled by one Query call at the segment midpoint.
+func Timeline(query func(geom.Point) []int32, xs, ys []float64, path Path) ([]Interval, error) {
+	if err := path.validate(); err != nil {
+		return nil, err
+	}
+	cuts := []float64{0, path.Duration}
+	cuts = appendCrossings(cuts, xs, path.Start.X(), path.Velocity.X(), path.Duration)
+	cuts = appendCrossings(cuts, ys, path.Start.Y(), path.Velocity.Y(), path.Duration)
+	sort.Float64s(cuts)
+	var out []Interval
+	for k := 0; k+1 < len(cuts); k++ {
+		t0, t1 := cuts[k], cuts[k+1]
+		if t1 <= t0 {
+			continue
+		}
+		ids := query(path.At((t0 + t1) / 2))
+		if n := len(out); n > 0 && equalIDs(out[n-1].IDs, ids) {
+			out[n-1].T1 = t1 // safe zone continues across this line
+			continue
+		}
+		out = append(out, Interval{T0: t0, T1: t1, IDs: ids})
+	}
+	if len(out) == 0 {
+		// Zero-duration path: a single instantaneous sample.
+		out = append(out, Interval{T0: 0, T1: 0, IDs: query(path.Start)})
+	}
+	return out, nil
+}
+
+// appendCrossings adds the times at which start + t·v crosses each value in
+// vs, clipped to (0, dur).
+func appendCrossings(cuts, vs []float64, start, v, dur float64) []float64 {
+	if v == 0 {
+		return cuts
+	}
+	for _, x := range vs {
+		t := (x - start) / v
+		if t > 0 && t < dur {
+			cuts = append(cuts, t)
+		}
+	}
+	return cuts
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForQuadrant computes the timeline of a moving quadrant skyline query.
+func ForQuadrant(d *quaddiag.Diagram, path Path) ([]Interval, error) {
+	return Timeline(d.Query, d.Grid.Xs, d.Grid.Ys, path)
+}
+
+// ForGlobal computes the timeline of a moving global skyline query.
+func ForGlobal(d *quaddiag.GlobalDiagram, path Path) ([]Interval, error) {
+	return Timeline(d.Query, d.Grid.Xs, d.Grid.Ys, path)
+}
+
+// ForDynamic computes the timeline of a moving dynamic skyline query.
+func ForDynamic(d *dyndiag.Diagram, path Path) ([]Interval, error) {
+	xs, ys := lineValues(d.Sub)
+	return Timeline(d.Query, xs, ys, path)
+}
+
+func lineValues(sg *grid.SubGrid) (xs, ys []float64) {
+	xs = make([]float64, len(sg.XLines))
+	for i, l := range sg.XLines {
+		xs[i] = l.V
+	}
+	ys = make([]float64, len(sg.YLines))
+	for i, l := range sg.YLines {
+		ys[i] = l.V
+	}
+	return xs, ys
+}
+
+// Changes counts the result changes along a timeline (intervals minus one).
+func Changes(tl []Interval) int {
+	if len(tl) == 0 {
+		return 0
+	}
+	return len(tl) - 1
+}
+
+// PolylineTimeline computes the timeline of a query moving along a polyline
+// of waypoints at unit speed per segment: segment k covers t in [k, k+1].
+// Adjacent intervals with equal results are merged across segment
+// boundaries, so a GPS-trace-style trajectory gets one interval per safe
+// zone it traverses.
+func PolylineTimeline(query func(geom.Point) []int32, xs, ys []float64, waypoints []geom.Point) ([]Interval, error) {
+	if len(waypoints) < 2 {
+		return nil, fmt.Errorf("safezone: polyline needs at least 2 waypoints, got %d", len(waypoints))
+	}
+	var out []Interval
+	for k := 0; k+1 < len(waypoints); k++ {
+		a, b := waypoints[k], waypoints[k+1]
+		seg := Path{
+			Start:    a,
+			Velocity: geom.Pt2(-1, b.X()-a.X(), b.Y()-a.Y()),
+			Duration: 1,
+		}
+		tl, err := Timeline(query, xs, ys, seg)
+		if err != nil {
+			return nil, fmt.Errorf("safezone: segment %d: %w", k, err)
+		}
+		for _, iv := range tl {
+			shifted := Interval{T0: iv.T0 + float64(k), T1: iv.T1 + float64(k), IDs: iv.IDs}
+			if n := len(out); n > 0 && equalIDs(out[n-1].IDs, shifted.IDs) {
+				out[n-1].T1 = shifted.T1
+				continue
+			}
+			out = append(out, shifted)
+		}
+	}
+	return out, nil
+}
+
+// PolylineForQuadrant is PolylineTimeline over a quadrant diagram.
+func PolylineForQuadrant(d *quaddiag.Diagram, waypoints []geom.Point) ([]Interval, error) {
+	return PolylineTimeline(d.Query, d.Grid.Xs, d.Grid.Ys, waypoints)
+}

@@ -1,0 +1,285 @@
+// Package server exposes precomputed skyline diagrams over HTTP — the
+// serving shape of the paper's precompute-then-lookup design: one process
+// builds the diagrams, every replica answers skyline queries with a point
+// location each.
+//
+// Endpoints:
+//
+//	GET    /healthz                                liveness
+//	GET    /v1/stats                               dataset and diagram sizes
+//	GET    /v1/skyline?kind=quadrant&x=10&y=80     skyline query
+//	POST   /v1/points   {"id":99,"coords":[13,85]} insert a point
+//	DELETE /v1/points/{id}                         delete a point
+//
+// kind is quadrant (default), global, or dynamic. Responses are JSON:
+//
+//	{"kind":"quadrant","query":[10,80],"ids":[3,8,10],
+//	 "points":[{"id":3,"coords":[14,91]}, ...]}
+//
+// Updates use the quadrant diagram's incremental maintenance and swap the
+// served diagrams atomically under a read-write lock, so readers always see
+// a consistent snapshot. The global and dynamic diagrams are rebuilt on
+// update (no incremental form exists for them); datasets beyond the dynamic
+// threshold keep dynamic queries disabled.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Config controls which diagrams the handler builds.
+type Config struct {
+	// MaxDynamicPoints disables the dynamic diagram (O(n^4) subcells) when
+	// the dataset exceeds it. 0 means the default of 128.
+	MaxDynamicPoints int
+}
+
+// state is one immutable snapshot of the served diagrams.
+type state struct {
+	points   []geom.Point
+	quadrant *core.QuadrantDiagram
+	global   *core.GlobalDiagram
+	dynamic  *core.DynamicDiagram // nil when disabled
+}
+
+// Handler serves skyline queries for one dataset.
+type Handler struct {
+	mux        *http.ServeMux
+	maxDynamic int
+
+	mu sync.RWMutex // guards st; writers swap whole snapshots
+	st *state
+}
+
+func buildState(pts []geom.Point, maxDynamic int) (*state, error) {
+	quad, err := core.BuildQuadrant(pts, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("server: build quadrant: %w", err)
+	}
+	glob, err := core.BuildGlobal(pts, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("server: build global: %w", err)
+	}
+	st := &state{points: pts, quadrant: quad, global: glob}
+	if len(pts) <= maxDynamic {
+		dyn, err := core.BuildDynamic(pts, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("server: build dynamic: %w", err)
+		}
+		st.dynamic = dyn
+	}
+	return st, nil
+}
+
+// New builds the diagrams and the routing table.
+func New(pts []geom.Point, cfg Config) (*Handler, error) {
+	if cfg.MaxDynamicPoints == 0 {
+		cfg.MaxDynamicPoints = 128
+	}
+	st, err := buildState(pts, cfg.MaxDynamicPoints)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handler{maxDynamic: cfg.MaxDynamicPoints, st: st}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.handleHealth)
+	mux.HandleFunc("GET /v1/stats", h.handleStats)
+	mux.HandleFunc("GET /v1/skyline", h.handleSkyline)
+	mux.HandleFunc("POST /v1/points", h.handleInsert)
+	mux.HandleFunc("DELETE /v1/points/{id}", h.handleDelete)
+	h.mux = mux
+	return h, nil
+}
+
+func (h *Handler) snapshot() *state {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.st
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func (h *Handler) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsResponse struct {
+	Points         int  `json:"points"`
+	Cells          int  `json:"cells"`
+	Polyominoes    int  `json:"polyominoes"`
+	DynamicEnabled bool `json:"dynamic_enabled"`
+	Subcells       int  `json:"subcells,omitempty"`
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := h.snapshot()
+	st, err := snap.quadrant.Stats()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := statsResponse{
+		Points:         len(snap.points),
+		Cells:          st.Cells,
+		Polyominoes:    st.Polyominoes,
+		DynamicEnabled: snap.dynamic != nil,
+	}
+	if snap.dynamic != nil {
+		resp.Subcells = snap.dynamic.SubGrid().NumSubcells()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type pointJSON struct {
+	ID     int       `json:"id"`
+	Coords []float64 `json:"coords"`
+}
+
+type skylineResponse struct {
+	Kind   string      `json:"kind"`
+	Query  []float64   `json:"query"`
+	IDs    []int32     `json:"ids"`
+	Points []pointJSON `json:"points"`
+}
+
+func (h *Handler) handleSkyline(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	kind := q.Get("kind")
+	if kind == "" {
+		kind = "quadrant"
+	}
+	x, errX := strconv.ParseFloat(q.Get("x"), 64)
+	y, errY := strconv.ParseFloat(q.Get("y"), 64)
+	if errX != nil || errY != nil {
+		writeError(w, http.StatusBadRequest, "x and y must be numbers")
+		return
+	}
+	pt := geom.Pt2(-1, x, y)
+	snap := h.snapshot()
+	var pts []geom.Point
+	switch kind {
+	case "quadrant":
+		pts = snap.quadrant.QueryPoints(pt)
+	case "global":
+		pts = snap.global.QueryPoints(pt)
+	case "dynamic":
+		if snap.dynamic == nil {
+			writeError(w, http.StatusNotImplemented, "dynamic diagram disabled for this dataset size")
+			return
+		}
+		pts = snap.dynamic.QueryPoints(pt)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown kind %q", kind))
+		return
+	}
+	resp := skylineResponse{Kind: kind, Query: []float64{x, y}, IDs: make([]int32, 0, len(pts)), Points: make([]pointJSON, 0, len(pts))}
+	for _, p := range pts {
+		resp.IDs = append(resp.IDs, int32(p.ID))
+		resp.Points = append(resp.Points, pointJSON{ID: p.ID, Coords: p.Coords})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+type insertRequest struct {
+	ID     int       `json:"id"`
+	Coords []float64 `json:"coords"`
+}
+
+func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Coords) != 2 {
+		writeError(w, http.StatusBadRequest, "coords must have exactly 2 values")
+		return
+	}
+	p := geom.Point{ID: req.ID, Coords: req.Coords}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// The quadrant diagram updates incrementally; global and dynamic are
+	// rebuilt over the new point set.
+	quad, err := h.st.quadrant.WithInsert(p)
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	pts := append(append([]geom.Point(nil), h.st.points...), p)
+	next, err := h.rebuildAround(quad, pts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	h.st = next
+	writeJSON(w, http.StatusCreated, map[string]int{"points": len(pts)})
+}
+
+func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid id")
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	quad, err := h.st.quadrant.WithDelete(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	pts := make([]geom.Point, 0, len(h.st.points))
+	for _, p := range h.st.points {
+		if p.ID != id {
+			pts = append(pts, p)
+		}
+	}
+	next, err := h.rebuildAround(quad, pts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	h.st = next
+	writeJSON(w, http.StatusOK, map[string]int{"points": len(pts)})
+}
+
+// rebuildAround assembles the next snapshot: the incrementally maintained
+// quadrant diagram plus freshly built global/dynamic diagrams.
+func (h *Handler) rebuildAround(quad *core.QuadrantDiagram, pts []geom.Point) (*state, error) {
+	glob, err := core.BuildGlobal(pts, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	next := &state{points: pts, quadrant: quad, global: glob}
+	if len(pts) <= h.maxDynamic {
+		dyn, err := core.BuildDynamic(pts, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		next.dynamic = dyn
+	}
+	return next, nil
+}

@@ -1,0 +1,102 @@
+package skyline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func benchPoints(dist string, n, d int) []geom.Point {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := make([]float64, d)
+		switch dist {
+		case "corr":
+			base := rng.Float64()
+			for j := range c {
+				c[j] = base + 0.1*rng.NormFloat64()
+			}
+		case "anti":
+			base := 1 - rng.Float64()
+			for j := range c {
+				c[j] = base
+			}
+			c[0] = 1 - base + 0.01*rng.Float64()
+		default:
+			for j := range c {
+				c[j] = rng.Float64()
+			}
+		}
+		pts[i] = geom.Point{ID: i, Coords: c}
+	}
+	return pts
+}
+
+// BenchmarkAlgorithms compares the classic skyline algorithms the diagram
+// constructions build on (substrate S3).
+func BenchmarkAlgorithms(b *testing.B) {
+	for _, dist := range []string{"inde", "corr", "anti"} {
+		for _, n := range []int{1000, 10000} {
+			pts := benchPoints(dist, n, 2)
+			b.Run(fmt.Sprintf("%s/n=%d/sort2d", dist, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					Skyline2D(pts)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/n=%d/bnl", dist, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					BNL(pts)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/n=%d/sfs", dist, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					SFS(pts)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/n=%d/dc", dist, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					DivideConquer(pts)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/n=%d/mbc", dist, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					OutputSensitive2D(pts)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkLayers(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		pts := benchPoints("inde", n, 2)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Layers(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkQueryOracles(b *testing.B) {
+	pts := benchPoints("inde", 5000, 2)
+	q := geom.Pt2(-1, 0.5, 0.5)
+	b.Run("quadrant", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			QuadrantSkyline(pts, q, 0)
+		}
+	})
+	b.Run("global", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GlobalSkyline(pts, q)
+		}
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DynamicSkyline(pts, q)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package skyline
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Layers computes the skyline layers of pts (Section IV-B, Figure 5): layer 1
+// is the skyline of the whole dataset, layer k is the skyline of what remains
+// after removing layers 1..k-1. The returned slice is indexed layer-1 first;
+// every point appears in exactly one layer, each layer in ascending ID order.
+//
+// Properties guaranteed (and tested): points on one layer never dominate each
+// other; a point on layer k>1 is dominated by at least one point on layer
+// k-1; points never dominate points on lower-numbered layers.
+func Layers(pts []geom.Point) [][]geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	if pts[0].Dim() == 2 {
+		return layers2D(pts)
+	}
+	return layersGeneric(pts)
+}
+
+// layers2D peels layers with repeated sorted sweeps. The sort happens once;
+// each peel is a linear scan, so the total is O(n log n + L·n) for L layers.
+func layers2D(pts []geom.Point) [][]geom.Point {
+	remaining := make([]geom.Point, len(pts))
+	copy(remaining, pts)
+	sort.Slice(remaining, func(i, j int) bool {
+		if remaining[i].X() != remaining[j].X() {
+			return remaining[i].X() < remaining[j].X()
+		}
+		return remaining[i].Y() < remaining[j].Y()
+	})
+	var out [][]geom.Point
+	for len(remaining) > 0 {
+		layer := maxima2DSorted(remaining)
+		out = append(out, idSort(layer))
+		inLayer := make(map[int]bool, len(layer))
+		for _, p := range layer {
+			inLayer[p.ID] = true
+		}
+		next := remaining[:0]
+		for _, p := range remaining {
+			if !inLayer[p.ID] {
+				next = append(next, p)
+			}
+		}
+		remaining = next
+	}
+	return out
+}
+
+func layersGeneric(pts []geom.Point) [][]geom.Point {
+	remaining := make([]geom.Point, len(pts))
+	copy(remaining, pts)
+	var out [][]geom.Point
+	for len(remaining) > 0 {
+		layer := Of(remaining)
+		out = append(out, layer)
+		inLayer := make(map[int]bool, len(layer))
+		for _, p := range layer {
+			inLayer[p.ID] = true
+		}
+		next := remaining[:0]
+		for _, p := range remaining {
+			if !inLayer[p.ID] {
+				next = append(next, p)
+			}
+		}
+		remaining = next
+	}
+	return out
+}
+
+// LayerIndex returns a map from point ID to its 1-based skyline layer number.
+func LayerIndex(layers [][]geom.Point) map[int]int {
+	idx := make(map[int]int)
+	for li, layer := range layers {
+		for _, p := range layer {
+			idx[p.ID] = li + 1
+		}
+	}
+	return idx
+}

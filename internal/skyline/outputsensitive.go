@@ -1,0 +1,161 @@
+package skyline
+
+import (
+	"repro/internal/geom"
+)
+
+// OutputSensitive2D computes the 2-D skyline in O(n log v) expected time,
+// where v is the number of skyline points — the output-sensitive bound of
+// the computational-geometry lineage the paper cites as refs [8] and [16]
+// (Kirkpatrick–Seidel's marriage-before-conquest for maxima).
+//
+// The scheme: pick the median x by expected-linear selection, take the
+// minimal-(y, x) point of the left half — always a skyline point — discard
+// everything it dominates (which includes every cross-half domination), and
+// recurse on the two now-independent halves. Each emitted skyline point
+// pays O(n) over a geometrically shrinking range, giving the n log v bound.
+//
+// Result in ascending ID order, duplicates kept, ties tolerated.
+func OutputSensitive2D(pts []geom.Point) []geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	work := make([]geom.Point, len(pts))
+	copy(work, pts)
+	var sky []geom.Point
+	mbc(work, &sky)
+	return idSort(sky)
+}
+
+// mbc appends the skyline of work (under minimisation) to out. work is
+// consumed (reordered and shrunk).
+func mbc(work []geom.Point, out *[]geom.Point) {
+	for {
+		switch len(work) {
+		case 0:
+			return
+		case 1:
+			*out = append(*out, work[0])
+			return
+		}
+		// Median x by expected-linear selection.
+		m := len(work) / 2
+		quickSelectX(work, m)
+		medianX := work[m].X()
+
+		// The champion: minimal (y, then x, then ID) among the LEFT half
+		// (x < medianX) — or among everything when ties at the median leave
+		// the left half empty. Under minimisation only smaller-x points can
+		// dominate across the split, so the left half is where the bridge
+		// point lives.
+		champ := -1
+		for i, p := range work {
+			if p.X() >= medianX {
+				continue
+			}
+			if champ == -1 || less(p, work[champ]) {
+				champ = i
+			}
+		}
+		if champ == -1 {
+			for i, p := range work {
+				if champ == -1 || less(p, work[champ]) {
+					champ = i
+				}
+			}
+		}
+		c := work[champ]
+
+		// c is a skyline point: a left-half dominator would beat c in the
+		// (y, x, ID) order c is minimal under, and a right-half point cannot
+		// dominate because its x exceeds c's.
+		*out = append(*out, c)
+
+		// Prune everything c dominates. Crucially this covers every
+		// cross-half domination: if a left point l dominates a right point
+		// r, then c.y <= l.y <= r.y and c.x < medianX <= r.x, so c dominates
+		// r too and r is pruned here — the two halves can then be solved
+		// independently.
+		keep := work[:0]
+		for _, p := range work {
+			if p.ID == c.ID || geom.Dominates(c, p) {
+				continue
+			}
+			keep = append(keep, p)
+		}
+
+		// Partition the survivors around medianX and recurse on the smaller
+		// side, loop on the larger (tail-call elimination by hand). Progress
+		// is guaranteed: c itself always leaves the working set.
+		lo := 0
+		for i := range keep {
+			if keep[i].X() < medianX {
+				keep[lo], keep[i] = keep[i], keep[lo]
+				lo++
+			}
+		}
+		left, right := keep[:lo], keep[lo:]
+		if len(left) < len(right) {
+			mbc(left, out)
+			work = right
+		} else {
+			mbc(right, out)
+			work = left
+		}
+	}
+}
+
+func less(a, b geom.Point) bool {
+	if a.Y() != b.Y() {
+		return a.Y() < b.Y()
+	}
+	if a.X() != b.X() {
+		return a.X() < b.X()
+	}
+	return a.ID < b.ID
+}
+
+// quickSelectX partially orders work so that work[k] holds the k-th smallest
+// x (ties broken arbitrarily), in expected linear time with a fixed
+// deterministic pivot walk (median of first/middle/last).
+func quickSelectX(work []geom.Point, k int) {
+	lo, hi := 0, len(work)-1
+	for lo < hi {
+		p := medianOfThree(work, lo, hi)
+		i, j := lo, hi
+		for i <= j {
+			for work[i].X() < p {
+				i++
+			}
+			for work[j].X() > p {
+				j--
+			}
+			if i <= j {
+				work[i], work[j] = work[j], work[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+func medianOfThree(work []geom.Point, lo, hi int) float64 {
+	mid := (lo + hi) / 2
+	a, b, c := work[lo].X(), work[mid].X(), work[hi].X()
+	switch {
+	case (a <= b && b <= c) || (c <= b && b <= a):
+		return b
+	case (b <= a && a <= c) || (c <= a && a <= b):
+		return a
+	default:
+		return c
+	}
+}

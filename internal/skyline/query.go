@@ -1,0 +1,105 @@
+package skyline
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// QuadrantSkyline answers a quadrant skyline query (the paper's Quadrant
+// Skyline Query, the first-orthant case of Definition 3): among the points of
+// quadrant `mask` relative to q, return those not dominated by another point
+// of the same quadrant, where dominance compares per-dimension distances to
+// q. Points sharing a coordinate with q belong to the >= side of that axis
+// (geom.QuadrantOf convention).
+//
+// The result is in ascending ID order.
+func QuadrantSkyline(pts []geom.Point, q geom.Point, mask int) []geom.Point {
+	var members []geom.Point
+	for _, p := range pts {
+		if geom.QuadrantOf(p, q) == mask {
+			members = append(members, p)
+		}
+	}
+	if len(members) == 0 {
+		return nil
+	}
+	// Within one quadrant, distance dominance w.r.t. q is plain dominance
+	// after mapping |p - q|, and all mapped points stay incomparable across
+	// the fold, so the traditional skyline of the mapped members is exact.
+	mapped := make([]geom.Point, len(members))
+	for i, p := range members {
+		mapped[i] = geom.MapToQuery(p, q)
+	}
+	sky := Of(mapped)
+	return selectByID(members, sky)
+}
+
+// GlobalSkyline answers a global skyline query (Definition 3): the union of
+// the quadrant skylines of all 2^d quadrants. Result in ascending ID order.
+func GlobalSkyline(pts []geom.Point, q geom.Point) []geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	d := pts[0].Dim()
+	var out []geom.Point
+	for mask := 0; mask < 1<<d; mask++ {
+		out = append(out, QuadrantSkyline(pts, q, mask)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DynamicSkyline answers a dynamic skyline query (Definition 2): map every
+// point to |p - q| per dimension and return the traditional skyline of the
+// mapped points. Result in ascending ID order.
+func DynamicSkyline(pts []geom.Point, q geom.Point) []geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	mapped := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		mapped[i] = geom.MapToQuery(p, q)
+	}
+	sky := Of(mapped)
+	return selectByID(pts, sky)
+}
+
+// selectByID returns the members of pts whose IDs appear in chosen, ascending
+// by ID.
+func selectByID(pts, chosen []geom.Point) []geom.Point {
+	want := make(map[int]bool, len(chosen))
+	for _, c := range chosen {
+		want[c.ID] = true
+	}
+	var out []geom.Point
+	for _, p := range pts {
+		if want[p.ID] {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FirstQuadrantSkylineStrict returns the skyline of the points strictly
+// greater than corner in every dimension. This is exactly the candidate rule
+// of the diagram's Baseline algorithm (Algorithm 1, line 5) and the semantics
+// every skyline cell carries: the cell's result is the strict first-quadrant
+// skyline of its lower-left corner. Result in ascending ID order.
+func FirstQuadrantSkylineStrict(pts []geom.Point, corner []float64) []geom.Point {
+	var cand []geom.Point
+	for _, p := range pts {
+		ok := true
+		for i, v := range corner {
+			if p.Coords[i] <= v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cand = append(cand, p)
+		}
+	}
+	return Of(cand)
+}

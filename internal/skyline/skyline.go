@@ -1,0 +1,238 @@
+// Package skyline implements the classic skyline (maxima) algorithms the
+// diagram constructions build on, plus the per-query-point oracles for
+// quadrant, global, and dynamic skyline queries (Definitions 1–3 of the
+// paper). Everything uses the minimisation convention of internal/geom.
+//
+// Algorithms provided:
+//
+//   - Skyline2D      — O(n log n) sort-and-scan for two dimensions
+//   - BNL            — block-nested-loops, any dimension (Börzsönyi et al.)
+//   - SFS            — sort-filter-skyline (presort by sum, one pass)
+//   - DivideConquer  — Kung/Luccio/Preparata divide and conquer, any dimension
+//   - Maxima2DSorted — linear scan over points already sorted by x
+//
+// All variants return skyline points in ascending ID order so that result
+// sets compare with a linear merge.
+package skyline
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Skyline2D computes the skyline of two-dimensional points in O(n log n) by
+// sorting on x and sweeping for strictly decreasing y. Duplicate coordinates
+// are handled: among points with equal x the one with smaller y is considered
+// first, and a point equal to a kept point in both coordinates is dominated
+// by nothing but dominates nothing either, so both are kept.
+func Skyline2D(pts []geom.Point) []geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X() != sorted[j].X() {
+			return sorted[i].X() < sorted[j].X()
+		}
+		return sorted[i].Y() < sorted[j].Y()
+	})
+	return idSort(maxima2DSorted(sorted))
+}
+
+// Maxima2DSorted computes the 2-D skyline of points already sorted by
+// ascending x (ties broken by ascending y). It is the O(n) inner step the
+// baseline diagram algorithm relies on after its single global sort
+// (Algorithm 1, lines 5–12). Results are in the sorted order, not ID order.
+func Maxima2DSorted(sorted []geom.Point) []geom.Point {
+	return maxima2DSorted(sorted)
+}
+
+func maxima2DSorted(sorted []geom.Point) []geom.Point {
+	var out []geom.Point
+	for i, p := range sorted {
+		if i > 0 && p.X() == sorted[i-1].X() && p.Y() == sorted[i-1].Y() {
+			// Coordinate duplicate of the previous point: same dominance
+			// status as its twin.
+			if len(out) > 0 && out[len(out)-1].X() == p.X() && out[len(out)-1].Y() == p.Y() {
+				out = append(out, p)
+			}
+			continue
+		}
+		// Strictly smaller y than every kept point's minimum so far means not
+		// dominated; equal y with equal x was handled above, equal y with
+		// smaller x dominates p.
+		if len(out) == 0 || p.Y() < minY(out) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func minY(pts []geom.Point) float64 {
+	// The sweep keeps y strictly decreasing, so the minimum is the last kept
+	// point's y (duplicates share the same y).
+	return pts[len(pts)-1].Y()
+}
+
+// BNL computes the skyline in any dimension with the block-nested-loops
+// strategy: maintain a window of incomparable points, discard dominated ones.
+// Worst case O(n^2 d), excellent on correlated data.
+func BNL(pts []geom.Point) []geom.Point {
+	var window []geom.Point
+	for _, p := range pts {
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if dominated {
+				keep = append(keep, w)
+				continue
+			}
+			if geom.Dominates(w, p) {
+				dominated = true
+				keep = append(keep, w)
+				continue
+			}
+			if !geom.Dominates(p, w) {
+				keep = append(keep, w)
+			}
+		}
+		window = keep
+		if !dominated {
+			window = append(window, p)
+		}
+	}
+	return idSort(window)
+}
+
+// SFS computes the skyline with the sort-filter-skyline strategy: presort by
+// the coordinate sum (a monotone scoring function), then a single pass where
+// each point is only compared against already-accepted skyline points. A
+// point can never dominate one that precedes it in sum order.
+func SFS(pts []geom.Point) []geom.Point {
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		si, sj := coordSum(sorted[i]), coordSum(sorted[j])
+		if si != sj {
+			return si < sj
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	var sky []geom.Point
+	for _, p := range sorted {
+		dominated := false
+		for _, s := range sky {
+			if geom.Dominates(s, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, p)
+		}
+	}
+	return idSort(sky)
+}
+
+func coordSum(p geom.Point) float64 {
+	var s float64
+	for _, v := range p.Coords {
+		s += v
+	}
+	return s
+}
+
+// DivideConquer computes the skyline in any dimension with the classic
+// divide-and-conquer of Kung, Luccio and Preparata: split on the median of
+// the first coordinate, solve recursively, and filter the "high" half
+// against the "low" half in one fewer dimension.
+func DivideConquer(pts []geom.Point) []geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	work := make([]geom.Point, len(pts))
+	copy(work, pts)
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].Coords[0] != work[j].Coords[0] {
+			return work[i].Coords[0] < work[j].Coords[0]
+		}
+		return work[i].ID < work[j].ID
+	})
+	return idSort(dcSkyline(work))
+}
+
+// dcSkyline assumes pts sorted ascending on coordinate 0.
+func dcSkyline(pts []geom.Point) []geom.Point {
+	if len(pts) <= 1 {
+		return pts
+	}
+	if pts[0].Dim() == 2 {
+		s := make([]geom.Point, len(pts))
+		copy(s, pts)
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].X() != s[j].X() {
+				return s[i].X() < s[j].X()
+			}
+			return s[i].Y() < s[j].Y()
+		})
+		return maxima2DSorted(s)
+	}
+	mid := len(pts) / 2
+	low := dcSkyline(pts[:mid])
+	high := dcSkyline(pts[mid:])
+	// A high point survives only if no low point dominates it. Low points are
+	// never dominated by high points (coordinate 0 is <= for all of low; a
+	// high point with equal coordinate 0 could dominate... only when values
+	// tie across the split, which the pairwise filter below handles).
+	var merged []geom.Point
+	merged = append(merged, low...)
+	for _, h := range high {
+		dominated := false
+		for _, l := range low {
+			if geom.Dominates(l, h) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			merged = append(merged, h)
+		}
+	}
+	// Ties on the split coordinate can let a "high" point dominate a "low"
+	// one; finish with a linear filter of low against accepted high points.
+	out := merged[:0]
+	for i, p := range merged {
+		dominated := false
+		for j, q := range merged {
+			if i != j && geom.Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return append([]geom.Point(nil), out...)
+}
+
+func idSort(pts []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	copy(out, pts)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Of computes the skyline with the best general algorithm for the input's
+// dimensionality: the 2-D sweep when d == 2, divide and conquer otherwise.
+func Of(pts []geom.Point) []geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	if pts[0].Dim() == 2 {
+		return Skyline2D(pts)
+	}
+	return DivideConquer(pts)
+}

@@ -1,0 +1,359 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// bruteSkyline is the O(n^2) reference oracle.
+func bruteSkyline(pts []geom.Point) []geom.Point {
+	var out []geom.Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i != j && geom.Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return idSort(out)
+}
+
+func randomPoints(rng *rand.Rand, n, d, domain int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := make([]float64, d)
+		for j := range c {
+			if domain > 0 {
+				c[j] = float64(rng.Intn(domain))
+			} else {
+				c[j] = rng.Float64()
+			}
+		}
+		pts[i] = geom.Point{ID: i, Coords: c}
+	}
+	return pts
+}
+
+func sameIDs(t *testing.T, name string, got, want []geom.Point) {
+	t.Helper()
+	if !geom.EqualIDSets(geom.IDs(got), geom.IDs(want)) {
+		t.Fatalf("%s: got %v, want %v", name, geom.IDs(got), geom.IDs(want))
+	}
+}
+
+func TestAllAlgorithmsAgreeWithOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	configs := []struct {
+		n, d, domain int
+	}{
+		{0, 2, 0}, {1, 2, 0}, {2, 2, 0},
+		{50, 2, 0}, {50, 2, 8}, // duplicates likely
+		{60, 3, 0}, {60, 3, 6},
+		{40, 4, 0}, {40, 4, 5},
+		{30, 5, 4},
+	}
+	for _, cfg := range configs {
+		for trial := 0; trial < 10; trial++ {
+			pts := randomPoints(rng, cfg.n, cfg.d, cfg.domain)
+			want := bruteSkyline(pts)
+			if cfg.d == 2 {
+				sameIDs(t, "Skyline2D", Skyline2D(pts), want)
+				sameIDs(t, "OutputSensitive2D", OutputSensitive2D(pts), want)
+			}
+			sameIDs(t, "BNL", BNL(pts), want)
+			sameIDs(t, "SFS", SFS(pts), want)
+			sameIDs(t, "DivideConquer", DivideConquer(pts), want)
+			sameIDs(t, "Of", Of(pts), want)
+		}
+	}
+}
+
+func TestSkylineIsAntichainAndIdempotent(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 30+rng.Intn(40), 2+rng.Intn(2), 10)
+		sky := Of(pts)
+		for i, a := range sky {
+			for j, b := range sky {
+				if i != j && geom.Dominates(a, b) {
+					return false
+				}
+			}
+		}
+		again := Of(sky)
+		return geom.EqualIDSets(geom.IDs(sky), geom.IDs(again))
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryNonSkylinePointIsDominatedBySkyline(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 200, 3, 0)
+	sky := Of(pts)
+	in := make(map[int]bool)
+	for _, s := range sky {
+		in[s.ID] = true
+	}
+	for _, p := range pts {
+		if in[p.ID] {
+			continue
+		}
+		found := false
+		for _, s := range sky {
+			if geom.Dominates(s, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("non-skyline point %v not dominated by any skyline point", p)
+		}
+	}
+}
+
+func TestMaxima2DSortedMatchesSkyline2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := randomPoints(rng, 120, 2, 16)
+	want := Skyline2D(pts)
+	sorted := append([]geom.Point(nil), pts...)
+	sortByXY(sorted)
+	got := idSort(Maxima2DSorted(sorted))
+	sameIDs(t, "Maxima2DSorted", got, want)
+}
+
+func sortByXY(pts []geom.Point) {
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0; j-- {
+			a, b := pts[j-1], pts[j]
+			if b.X() < a.X() || (b.X() == a.X() && b.Y() < a.Y()) {
+				pts[j-1], pts[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func TestDuplicatePointsBothKept(t *testing.T) {
+	pts := []geom.Point{geom.Pt2(0, 1, 1), geom.Pt2(1, 1, 1), geom.Pt2(2, 2, 2)}
+	sky := Skyline2D(pts)
+	sameIDs(t, "duplicates", sky, []geom.Point{pts[0], pts[1]})
+}
+
+// --- Query oracles -------------------------------------------------------
+
+func bruteQuadrant(pts []geom.Point, q geom.Point, mask int) []geom.Point {
+	var out []geom.Point
+	for _, p := range pts {
+		if geom.QuadrantOf(p, q) != mask {
+			continue
+		}
+		dominated := false
+		for _, r := range pts {
+			if r.ID != p.ID && geom.QuadrantOf(r, q) == mask && geom.DynDominates(r, p, q) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return idSort(out)
+}
+
+func bruteDynamic(pts []geom.Point, q geom.Point) []geom.Point {
+	var out []geom.Point
+	for _, p := range pts {
+		dominated := false
+		for _, r := range pts {
+			if r.ID != p.ID && geom.DynDominates(r, p, q) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return idSort(out)
+}
+
+func TestQueriesAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + trial%2
+		pts := randomPoints(rng, 60, d, 0)
+		qc := make([]float64, d)
+		for j := range qc {
+			qc[j] = rng.Float64()
+		}
+		q := geom.Point{ID: -1, Coords: qc}
+		for mask := 0; mask < 1<<d; mask++ {
+			sameIDs(t, "QuadrantSkyline", QuadrantSkyline(pts, q, mask), bruteQuadrant(pts, q, mask))
+		}
+		var wantGlobal []geom.Point
+		for mask := 0; mask < 1<<d; mask++ {
+			wantGlobal = append(wantGlobal, bruteQuadrant(pts, q, mask)...)
+		}
+		sameIDs(t, "GlobalSkyline", GlobalSkyline(pts, q), idSort(wantGlobal))
+		sameIDs(t, "DynamicSkyline", DynamicSkyline(pts, q), bruteDynamic(pts, q))
+	}
+}
+
+func TestDynamicSubsetOfGlobal(t *testing.T) {
+	// The containment the Subset algorithm exploits (Section V-B).
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		pts := randomPoints(rng, 50, 2, 0)
+		q := geom.Pt2(-1, rng.Float64(), rng.Float64())
+		glob := make(map[int]bool)
+		for _, p := range GlobalSkyline(pts, q) {
+			glob[p.ID] = true
+		}
+		for _, p := range DynamicSkyline(pts, q) {
+			if !glob[p.ID] {
+				t.Fatalf("dynamic skyline point %v not in global skyline", p)
+			}
+		}
+	}
+}
+
+func TestRunningExampleQueries(t *testing.T) {
+	// The paper's Section I / Section III walkthrough on Figure 1.
+	hotels := dataset.Hotels()
+	q := dataset.HotelQuery()
+	checks := []struct {
+		name string
+		got  []geom.Point
+		want []int
+	}{
+		{"first quadrant", QuadrantSkyline(hotels, q, 0), []int{3, 8, 10}},
+		{"second quadrant", QuadrantSkyline(hotels, q, 1), []int{6}},
+		{"fourth quadrant", QuadrantSkyline(hotels, q, 2), []int{11}},
+		{"third quadrant", QuadrantSkyline(hotels, q, 3), nil},
+		{"global", GlobalSkyline(hotels, q), []int{3, 6, 8, 10, 11}},
+		{"dynamic", DynamicSkyline(hotels, q), []int{6, 11}},
+	}
+	for _, c := range checks {
+		if !geom.EqualIDSets(geom.IDs(c.got), c.want) {
+			t.Errorf("%s skyline = %v, want %v", c.name, geom.IDs(c.got), c.want)
+		}
+	}
+}
+
+func TestFirstQuadrantSkylineStrict(t *testing.T) {
+	hotels := dataset.Hotels()
+	got := FirstQuadrantSkylineStrict(hotels, []float64{10, 80})
+	if !geom.EqualIDSets(geom.IDs(got), []int{3, 8, 10}) {
+		t.Fatalf("strict quadrant skyline = %v", geom.IDs(got))
+	}
+	// A corner beyond the data yields nothing.
+	if got := FirstQuadrantSkylineStrict(hotels, []float64{100, 100}); got != nil {
+		t.Fatalf("expected empty, got %v", geom.IDs(got))
+	}
+}
+
+// --- Layers ---------------------------------------------------------------
+
+func TestLayersProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + trial%2
+		pts := randomPoints(rng, 80, d, 12)
+		layers := Layers(pts)
+		// Exact cover.
+		seen := make(map[int]bool)
+		total := 0
+		for _, layer := range layers {
+			total += len(layer)
+			for _, p := range layer {
+				if seen[p.ID] {
+					t.Fatalf("point %d in two layers", p.ID)
+				}
+				seen[p.ID] = true
+			}
+		}
+		if total != len(pts) {
+			t.Fatalf("layers cover %d of %d points", total, len(pts))
+		}
+		// Layer 1 is the skyline.
+		sameIDs(t, "layer 1", layers[0], Of(pts))
+		idx := LayerIndex(layers)
+		for _, a := range pts {
+			for _, b := range pts {
+				if geom.Dominates(a, b) && idx[a.ID] >= idx[b.ID]+1 && idx[a.ID] > idx[b.ID] {
+					t.Fatalf("dominating point %d on layer %d >= dominated %d on layer %d",
+						a.ID, idx[a.ID], b.ID, idx[b.ID])
+				}
+			}
+		}
+		// Every point on layer k>1 is dominated by someone on layer k-1.
+		for li := 1; li < len(layers); li++ {
+			for _, p := range layers[li] {
+				found := false
+				for _, u := range layers[li-1] {
+					if geom.Dominates(u, p) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("layer %d point %d has no dominator on layer %d", li+1, p.ID, li)
+				}
+			}
+		}
+	}
+}
+
+func TestLayersEmpty(t *testing.T) {
+	if Layers(nil) != nil {
+		t.Fatal("no layers for empty input")
+	}
+}
+
+func TestOutputSensitive2DMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	configs := []struct{ n, domain int }{
+		{0, 0}, {1, 0}, {2, 0}, {3, 3},
+		{50, 0}, {50, 8}, {200, 0}, {200, 5}, {500, 40},
+	}
+	for _, cfg := range configs {
+		for trial := 0; trial < 8; trial++ {
+			pts := randomPoints(rng, cfg.n, 2, cfg.domain)
+			want := bruteSkyline(pts)
+			got := OutputSensitive2D(pts)
+			sameIDs(t, "OutputSensitive2D", got, want)
+		}
+	}
+	// All points identical: everyone is skyline.
+	dup := make([]geom.Point, 20)
+	for i := range dup {
+		dup[i] = geom.Pt2(i, 3, 3)
+	}
+	if got := OutputSensitive2D(dup); len(got) != 20 {
+		t.Fatalf("identical points: %d skyline, want 20", len(got))
+	}
+	// Tiny skyline from a big set (the output-sensitive case).
+	big := make([]geom.Point, 2000)
+	for i := range big {
+		v := rng.Float64()*50 + 1
+		big[i] = geom.Pt2(i, v, v+rng.Float64())
+	}
+	big = append(big, geom.Pt2(5000, 0, 0)) // dominates everything
+	got := OutputSensitive2D(big)
+	if len(got) != 1 || got[0].ID != 5000 {
+		t.Fatalf("single dominator case: %v", geom.IDs(got))
+	}
+}

@@ -1,0 +1,541 @@
+// Package store persists skyline diagrams in a paged binary file and serves
+// point-location queries from disk through a small LRU page cache — the
+// deployment shape of a precomputation structure: build once on a beefy
+// machine, ship the file, query it on small ones without loading the whole
+// diagram into memory.
+//
+// File layout (all integers big-endian):
+//
+//	header   magic "SKYDSTO1", version, dim, #points, cols, rows,
+//	         cellsPerPage, #pages, section offsets
+//	points   id:int64, coords: dim × float64  (grid lines are rebuilt from
+//	         these on open, exactly as the in-memory constructors do)
+//	index    per page: offset:uint64, length:uint32, crc32:uint32
+//	pages    each page: cellsPerPage local offsets (uint32) followed by the
+//	         cells' payloads (count:uint32, ids: count × int32)
+//
+// Every page is CRC-checked on load, so silent corruption turns into an
+// error instead of a wrong skyline.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"repro/internal/dyndiag"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/quaddiag"
+)
+
+const (
+	magic        = "SKYDSTO1"
+	version      = 1
+	headerSize   = 64
+	indexEntrySz = 16
+	// CellsPerPage balances page size (decode cost) against index size.
+	CellsPerPage = 256
+	// DefaultCacheSize is the number of decoded pages kept in memory.
+	DefaultCacheSize = 64
+)
+
+// Diagram kinds stored in the header.
+const (
+	kindQuadrant = 1
+	kindDynamic  = 2
+)
+
+// Write serialises a quadrant diagram to w.
+func Write(w io.Writer, d *quaddiag.Diagram) error {
+	pts, cells := d.Export()
+	return write(w, pts, cells, d.Grid.Cols(), d.Grid.Rows(), kindQuadrant)
+}
+
+// WriteDynamic serialises a dynamic diagram to w. The subcell grid is
+// rebuilt deterministically from the points on open, exactly like the cell
+// grid of the quadrant form.
+func WriteDynamic(w io.Writer, d *dyndiag.Diagram) error {
+	pts, cells := d.Export()
+	return write(w, pts, cells, d.Sub.Cols(), d.Sub.Rows(), kindDynamic)
+}
+
+func write(w io.Writer, pts []geom.Point, cells [][]int32, cols, rows, kind int) error {
+	numPages := (len(cells) + CellsPerPage - 1) / CellsPerPage
+	if len(cells) == 0 {
+		return fmt.Errorf("store: diagram has no cells")
+	}
+
+	bw := bufio.NewWriter(w)
+	// Build pages first so the index can be written before them.
+	pages := make([][]byte, numPages)
+	for pg := 0; pg < numPages; pg++ {
+		start := pg * CellsPerPage
+		end := start + CellsPerPage
+		if end > len(cells) {
+			end = len(cells)
+		}
+		pages[pg] = encodePage(cells[start:end])
+	}
+
+	pointsSize := len(pts) * (8 + 8*dimOf(pts))
+	indexOffset := headerSize + pointsSize
+	pagesOffset := indexOffset + numPages*indexEntrySz
+
+	// Header.
+	var hdr [headerSize]byte
+	copy(hdr[0:8], magic)
+	be := binary.BigEndian
+	be.PutUint32(hdr[8:], version)
+	be.PutUint32(hdr[12:], uint32(dimOf(pts)))
+	be.PutUint64(hdr[16:], uint64(len(pts)))
+	be.PutUint32(hdr[24:], uint32(cols))
+	be.PutUint32(hdr[28:], uint32(rows))
+	be.PutUint32(hdr[32:], CellsPerPage)
+	be.PutUint64(hdr[36:], uint64(numPages))
+	be.PutUint64(hdr[44:], uint64(indexOffset))
+	be.PutUint64(hdr[52:], uint64(pagesOffset))
+	be.PutUint32(hdr[60:], uint32(kind))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	// Points.
+	var buf [8]byte
+	for _, p := range pts {
+		be.PutUint64(buf[:], uint64(int64(p.ID)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		for _, v := range p.Coords {
+			be.PutUint64(buf[:], math.Float64bits(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Index.
+	off := uint64(pagesOffset)
+	for _, page := range pages {
+		be.PutUint64(buf[:], off)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		be.PutUint32(buf[:4], uint32(len(page)))
+		be.PutUint32(buf[4:8], crc32.ChecksumIEEE(page))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+		off += uint64(len(page))
+	}
+
+	// Pages.
+	for _, page := range pages {
+		if _, err := bw.Write(page); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func dimOf(pts []geom.Point) int {
+	if len(pts) == 0 {
+		return 2
+	}
+	return pts[0].Dim()
+}
+
+// encodePage lays out up to CellsPerPage cells: local offset table, then
+// payloads.
+func encodePage(cells [][]int32) []byte {
+	be := binary.BigEndian
+	headSize := 4 * CellsPerPage
+	size := headSize
+	for _, c := range cells {
+		size += 4 + 4*len(c)
+	}
+	page := make([]byte, size)
+	off := headSize
+	for k := 0; k < CellsPerPage; k++ {
+		if k < len(cells) {
+			be.PutUint32(page[4*k:], uint32(off))
+			c := cells[k]
+			be.PutUint32(page[off:], uint32(len(c)))
+			off += 4
+			for _, id := range c {
+				be.PutUint32(page[off:], uint32(id))
+				off += 4
+			}
+		} else {
+			be.PutUint32(page[4*k:], 0xFFFFFFFF) // no such cell
+		}
+	}
+	return page
+}
+
+// CreateFile writes the diagram to path.
+func CreateFile(path string, d *quaddiag.Diagram) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Store serves queries from a diagram file.
+type Store struct {
+	r      io.ReaderAt
+	closer io.Closer
+
+	dim        int
+	kind       int
+	cols, rows int
+	numPages   int
+	pageIndex  []pageMeta
+	xs, ys     []float64
+	points     []geom.Point
+
+	mu    sync.Mutex
+	cache *pageCache
+}
+
+type pageMeta struct {
+	off    uint64
+	length uint32
+	crc    uint32
+}
+
+// Open maps a diagram file for querying with the default cache size.
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := New(f, DefaultCacheSize)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// New builds a Store over any ReaderAt (a file, an mmap, a byte slice via
+// bytes.NewReader).
+func New(r io.ReaderAt, cacheSize int) (*Store, error) {
+	var hdr [headerSize]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("store: read header: %w", err)
+	}
+	if string(hdr[0:8]) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", hdr[0:8])
+	}
+	be := binary.BigEndian
+	if v := be.Uint32(hdr[8:]); v != version {
+		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	s := &Store{
+		r:    r,
+		dim:  int(be.Uint32(hdr[12:])),
+		cols: int(be.Uint32(hdr[24:])),
+		rows: int(be.Uint32(hdr[28:])),
+		kind: int(be.Uint32(hdr[60:])),
+	}
+	if s.kind != kindQuadrant && s.kind != kindDynamic {
+		return nil, fmt.Errorf("store: unknown diagram kind %d", s.kind)
+	}
+	numPoints := int(be.Uint64(hdr[16:]))
+	cpp := int(be.Uint32(hdr[32:]))
+	if cpp != CellsPerPage {
+		return nil, fmt.Errorf("store: page shape %d not supported (want %d)", cpp, CellsPerPage)
+	}
+	s.numPages = int(be.Uint64(hdr[36:]))
+	indexOffset := int64(be.Uint64(hdr[44:]))
+	if s.cols <= 0 || s.rows <= 0 || s.dim != 2 {
+		return nil, fmt.Errorf("store: corrupt header: cols=%d rows=%d dim=%d", s.cols, s.rows, s.dim)
+	}
+	wantPages := (s.cols*s.rows + CellsPerPage - 1) / CellsPerPage
+	if s.numPages != wantPages {
+		return nil, fmt.Errorf("store: header claims %d pages for %d cells", s.numPages, s.cols*s.rows)
+	}
+
+	// Points.
+	ptsBuf := make([]byte, numPoints*(8+8*s.dim))
+	if _, err := r.ReadAt(ptsBuf, headerSize); err != nil {
+		return nil, fmt.Errorf("store: read points: %w", err)
+	}
+	s.points = make([]geom.Point, numPoints)
+	off := 0
+	for i := 0; i < numPoints; i++ {
+		id := int64(be.Uint64(ptsBuf[off:]))
+		off += 8
+		coords := make([]float64, s.dim)
+		for a := 0; a < s.dim; a++ {
+			coords[a] = math.Float64frombits(be.Uint64(ptsBuf[off:]))
+			off += 8
+		}
+		s.points[i] = geom.Point{ID: int(id), Coords: coords}
+	}
+	if s.kind == kindDynamic {
+		sg := grid.NewSubGrid(s.points)
+		if sg.Cols() != s.cols || sg.Rows() != s.rows {
+			return nil, fmt.Errorf("store: points imply a %dx%d subgrid, header says %dx%d",
+				sg.Cols(), sg.Rows(), s.cols, s.rows)
+		}
+		s.xs = make([]float64, len(sg.XLines))
+		for i, l := range sg.XLines {
+			s.xs[i] = l.V
+		}
+		s.ys = make([]float64, len(sg.YLines))
+		for i, l := range sg.YLines {
+			s.ys[i] = l.V
+		}
+	} else {
+		g := grid.NewGrid(s.points)
+		if g.Cols() != s.cols || g.Rows() != s.rows {
+			return nil, fmt.Errorf("store: points imply a %dx%d grid, header says %dx%d",
+				g.Cols(), g.Rows(), s.cols, s.rows)
+		}
+		s.xs, s.ys = g.Xs, g.Ys
+	}
+
+	// Page index.
+	idxBuf := make([]byte, s.numPages*indexEntrySz)
+	if _, err := r.ReadAt(idxBuf, indexOffset); err != nil {
+		return nil, fmt.Errorf("store: read index: %w", err)
+	}
+	s.pageIndex = make([]pageMeta, s.numPages)
+	for pg := 0; pg < s.numPages; pg++ {
+		e := idxBuf[pg*indexEntrySz:]
+		s.pageIndex[pg] = pageMeta{
+			off:    be.Uint64(e),
+			length: be.Uint32(e[8:]),
+			crc:    be.Uint32(e[12:]),
+		}
+	}
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	s.cache = newPageCache(cacheSize)
+	return s, nil
+}
+
+// Close releases the underlying file when the store owns one.
+func (s *Store) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// Points returns the stored dataset.
+func (s *Store) Points() []geom.Point { return s.points }
+
+// NumCells returns the diagram size.
+func (s *Store) NumCells() int { return s.cols * s.rows }
+
+// Query answers a quadrant skyline query from disk.
+func (s *Store) Query(q geom.Point) ([]int32, error) {
+	i := countLE(s.xs, q.X())
+	j := countLE(s.ys, q.Y())
+	return s.Cell(i, j)
+}
+
+// Cell reads the result of cell (i, j).
+func (s *Store) Cell(i, j int) ([]int32, error) {
+	if i < 0 || j < 0 || i >= s.cols || j >= s.rows {
+		return nil, fmt.Errorf("store: cell (%d,%d) out of range %dx%d", i, j, s.cols, s.rows)
+	}
+	cellIdx := i*s.rows + j
+	pg := cellIdx / CellsPerPage
+	local := cellIdx % CellsPerPage
+	page, err := s.page(pg)
+	if err != nil {
+		return nil, err
+	}
+	be := binary.BigEndian
+	off := be.Uint32(page[4*local:])
+	if off == 0xFFFFFFFF || int(off)+4 > len(page) {
+		return nil, fmt.Errorf("store: page %d has no cell %d", pg, local)
+	}
+	count := be.Uint32(page[off:])
+	if int(off)+4+4*int(count) > len(page) {
+		return nil, fmt.Errorf("store: cell %d payload overruns page %d", local, pg)
+	}
+	ids := make([]int32, count)
+	for k := range ids {
+		ids[k] = int32(be.Uint32(page[int(off)+4+4*k:]))
+	}
+	return ids, nil
+}
+
+func (s *Store) page(pg int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.cache.get(pg); ok {
+		return b, nil
+	}
+	meta := s.pageIndex[pg]
+	buf := make([]byte, meta.length)
+	if _, err := s.r.ReadAt(buf, int64(meta.off)); err != nil {
+		return nil, fmt.Errorf("store: read page %d: %w", pg, err)
+	}
+	if got := crc32.ChecksumIEEE(buf); got != meta.crc {
+		return nil, fmt.Errorf("store: page %d checksum mismatch (file corrupt)", pg)
+	}
+	s.cache.put(pg, buf)
+	return buf, nil
+}
+
+// QueryBatch answers many queries with page-ordered access: queries are
+// grouped by the page their cell lives on, so each page is loaded and
+// checksummed at most once per batch even when the cache is cold or smaller
+// than the working set. Results are returned in input order.
+func (s *Store) QueryBatch(qs []geom.Point) ([][]int32, error) {
+	type slot struct {
+		cell int
+		out  int
+	}
+	byPage := make(map[int][]slot)
+	for k, q := range qs {
+		i := countLE(s.xs, q.X())
+		j := countLE(s.ys, q.Y())
+		cell := i*s.rows + j
+		pg := cell / CellsPerPage
+		byPage[pg] = append(byPage[pg], slot{cell: cell, out: k})
+	}
+	pages := make([]int, 0, len(byPage))
+	for pg := range byPage {
+		pages = append(pages, pg)
+	}
+	sortInts(pages)
+	results := make([][]int32, len(qs))
+	for _, pg := range pages {
+		for _, sl := range byPage[pg] {
+			ids, err := s.Cell(sl.cell/s.rows, sl.cell%s.rows)
+			if err != nil {
+				return nil, err
+			}
+			results[sl.out] = ids
+		}
+	}
+	return results, nil
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// CacheStats reports cache effectiveness.
+func (s *Store) CacheStats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.hits, s.cache.misses
+}
+
+func countLE(vs []float64, v float64) int {
+	lo, hi := 0, len(vs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if vs[mid] > v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// --- LRU page cache ----------------------------------------------------------
+
+type cacheNode struct {
+	key        int
+	page       []byte
+	prev, next *cacheNode
+}
+
+type pageCache struct {
+	capacity     int
+	m            map[int]*cacheNode
+	head, tail   *cacheNode // head = most recent
+	hits, misses int64
+}
+
+func newPageCache(capacity int) *pageCache {
+	return &pageCache{capacity: capacity, m: make(map[int]*cacheNode, capacity)}
+}
+
+func (c *pageCache) get(key int) ([]byte, bool) {
+	n, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(n)
+	return n.page, true
+}
+
+func (c *pageCache) put(key int, page []byte) {
+	if n, ok := c.m[key]; ok {
+		n.page = page
+		c.moveToFront(n)
+		return
+	}
+	n := &cacheNode{key: key, page: page}
+	c.m[key] = n
+	c.pushFront(n)
+	if len(c.m) > c.capacity {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.m, evict.key)
+	}
+}
+
+func (c *pageCache) pushFront(n *cacheNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *pageCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *pageCache) moveToFront(n *cacheNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,308 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dyndiag"
+	"repro/internal/geom"
+	"repro/internal/quaddiag"
+)
+
+func buildDiagram(t *testing.T, n int, seed int64) *quaddiag.Diagram {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt2(i, rng.Float64()*100, rng.Float64()*100)
+	}
+	pts = dataset.GeneralPosition(pts)
+	d, err := quaddiag.BuildScanning(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRoundTripQueries(t *testing.T) {
+	d := buildDiagram(t, 60, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(bytes.NewReader(buf.Bytes()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCells() != d.Grid.NumCells() {
+		t.Fatalf("NumCells = %d, want %d", s.NumCells(), d.Grid.NumCells())
+	}
+	if len(s.Points()) != len(d.Points) {
+		t.Fatal("points lost")
+	}
+	// Every cell matches.
+	for i := 0; i < d.Grid.Cols(); i++ {
+		for j := 0; j < d.Grid.Rows(); j++ {
+			got, err := s.Cell(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := d.Cell(i, j)
+			if len(got) != len(want) {
+				t.Fatalf("cell (%d,%d): %v vs %v", i, j, got, want)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("cell (%d,%d): %v vs %v", i, j, got, want)
+				}
+			}
+		}
+	}
+	// Random point queries match the in-memory diagram.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		q := geom.Pt2(-1, rng.Float64()*140-20, rng.Float64()*140-20)
+		got, err := s.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := d.Query(q)
+		if len(got) != len(want) {
+			t.Fatalf("q=%v: %v vs %v", q, got, want)
+		}
+	}
+	hits, misses := s.CacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("cache stats look wrong: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	d := buildDiagram(t, 25, 3)
+	path := filepath.Join(t.TempDir(), "diag.sky")
+	if err := CreateFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := s.Query(geom.Pt2(-1, 10.5, 10.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.Query(geom.Pt2(-1, 10.5, 10.5))
+	if len(got) != len(want) {
+		t.Fatalf("file query %v, want %v", got, want)
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.sky")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	d := buildDiagram(t, 40, 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xFF
+	if _, err := New(bytes.NewReader(bad), 4); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+
+	// Flip one byte in the last page's payload: the CRC must catch it.
+	bad = append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 0x01
+	s, err := New(bytes.NewReader(bad), 4)
+	if err != nil {
+		t.Fatal(err) // header still fine
+	}
+	lastCell := s.NumCells() - 1
+	i, j := lastCell/s.rows, lastCell%s.rows
+	if _, err := s.Cell(i, j); err == nil {
+		t.Fatal("corrupted page must fail its checksum")
+	}
+
+	// Truncated file.
+	if _, err := New(bytes.NewReader(raw[:40]), 4); err == nil {
+		t.Fatal("truncated header must fail")
+	}
+	s2, err := New(bytes.NewReader(raw[:len(raw)-8]), 4)
+	if err == nil {
+		// Header parses; the damaged page read must fail.
+		if _, err := s2.Cell(s2.cols-1, s2.rows-1); err == nil {
+			t.Fatal("truncated page must fail")
+		}
+	}
+}
+
+func TestCellRangeErrors(t *testing.T) {
+	d := buildDiagram(t, 10, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(bytes.NewReader(buf.Bytes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cell(-1, 0); err == nil {
+		t.Fatal("negative index must fail")
+	}
+	if _, err := s.Cell(s.cols, 0); err == nil {
+		t.Fatal("overflow index must fail")
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	d := buildDiagram(t, 50, 6)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(bytes.NewReader(buf.Bytes()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 200; k++ {
+				q := geom.Pt2(-1, rng.Float64()*120-10, rng.Float64()*120-10)
+				got, err := s.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := d.Query(q)
+				if len(got) != len(want) {
+					errs <- err
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEmptyDiagramRejected(t *testing.T) {
+	// A diagram always has at least one cell, but Write guards anyway.
+	var buf bytes.Buffer
+	d, err := quaddiag.BuildBaseline(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err) // one empty cell is fine
+	}
+	s, err := New(bytes.NewReader(buf.Bytes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.Cell(0, 0)
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("empty diagram cell = %v, %v", ids, err)
+	}
+}
+
+func TestDynamicStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]geom.Point, 12)
+	for i := range pts {
+		pts[i] = geom.Pt2(i, float64(rng.Intn(24)), float64(rng.Intn(24)))
+	}
+	d, err := dyndiag.BuildScanning(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDynamic(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(bytes.NewReader(buf.Bytes()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumCells() != d.Sub.NumSubcells() {
+		t.Fatalf("NumCells = %d, want %d", s.NumCells(), d.Sub.NumSubcells())
+	}
+	for trial := 0; trial < 400; trial++ {
+		q := geom.Pt2(-1, rng.Float64()*30-3, rng.Float64()*30-3)
+		got, err := s.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := d.Query(q)
+		if len(got) != len(want) {
+			t.Fatalf("q=%v: %v vs %v", q, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("q=%v: %v vs %v", q, got, want)
+			}
+		}
+	}
+}
+
+func TestQueryBatchMatchesSingles(t *testing.T) {
+	d := buildDiagram(t, 80, 8)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	// Cache of 1 page: batching must still touch each page once per batch.
+	s, err := New(bytes.NewReader(buf.Bytes()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	qs := make([]geom.Point, 500)
+	for i := range qs {
+		qs[i] = geom.Pt2(-1, rng.Float64()*120-10, rng.Float64()*120-10)
+	}
+	batch, err := s.QueryBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterBatch := s.CacheStats()
+	for i, q := range qs {
+		want := d.Query(q)
+		if len(batch[i]) != len(want) {
+			t.Fatalf("q=%v: %v vs %v", q, batch[i], want)
+		}
+		for k := range want {
+			if batch[i][k] != want[k] {
+				t.Fatalf("q=%v: %v vs %v", q, batch[i], want)
+			}
+		}
+	}
+	// Batched access with a 1-page cache loads each needed page at most
+	// twice (once when first grouped, and the group is contiguous): misses
+	// must be far below the 500 a random access order would pay.
+	if missesAfterBatch > int64(s.numPages)+5 {
+		t.Fatalf("batch paid %d page misses over %d pages", missesAfterBatch, s.numPages)
+	}
+	if _, err := s.QueryBatch(nil); err != nil {
+		t.Fatal("empty batch must succeed")
+	}
+}

@@ -1,0 +1,207 @@
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is one polyline of a chart.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// ChartOptions configures WriteLineChart.
+type ChartOptions struct {
+	Title, XLabel, YLabel string
+	LogY                  bool // log10 y axis, the usual scale for runtime figures
+	W, H                  int  // pixel size; zero selects 720x480
+}
+
+var strokePalette = []string{
+	"#2563eb", "#16a34a", "#dc2626", "#d97706", "#9333ea",
+	"#0891b2", "#be185d", "#4d7c0f", "#7c3aed", "#b91c1c",
+	"#0d9488", "#a16207",
+}
+
+// WriteLineChart renders series as an SVG line chart — the form the paper's
+// runtime figures take. Axes get ~5 ticks; a log y-axis uses powers of 10.
+func WriteLineChart(w io.Writer, opt ChartOptions, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("svgplot: chart with no series")
+	}
+	if opt.W == 0 {
+		opt.W = 720
+	}
+	if opt.H == 0 {
+		opt.H = 480
+	}
+	const (
+		marginL = 70
+		marginR = 160
+		marginT = 40
+		marginB = 50
+	)
+	plotW := float64(opt.W - marginL - marginR)
+	plotH := float64(opt.H - marginT - marginB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if opt.LogY && y <= 0 {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("svgplot: chart has no drawable points")
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	ty := func(y float64) float64 {
+		if opt.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	loY, hiY := ty(minY), ty(maxY)
+	if loY == hiY {
+		loY, hiY = loY-1, hiY+1
+	}
+	// A touch of headroom.
+	pad := (hiY - loY) * 0.05
+	loY -= pad
+	hiY += pad
+
+	px := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (ty(y)-loY)/(hiY-loY)*plotH }
+
+	if _, err := fmt.Fprintf(w, header, opt.W, opt.H); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect x="0" y="0" width="%d" height="%d" fill="#ffffff"/>`+"\n", opt.W, opt.H)
+	fmt.Fprintf(w, `<text x="%d" y="24" font-size="16" font-family="sans-serif" font-weight="bold">%s</text>`+"\n", marginL, xmlEscape(opt.Title))
+
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#111827"/>`+"\n",
+		marginL, marginT, marginL, opt.H-marginB)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#111827"/>`+"\n",
+		marginL, opt.H-marginB, opt.W-marginR, opt.H-marginB)
+	fmt.Fprintf(w, `<text x="%g" y="%d" font-size="12" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, opt.H-12, xmlEscape(opt.XLabel))
+	fmt.Fprintf(w, `<text x="16" y="%g" font-size="12" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, xmlEscape(opt.YLabel))
+
+	// Y ticks.
+	for _, tick := range yTicks(loY, hiY, opt.LogY) {
+		yy := marginT + plotH - (ty(tick)-loY)/(hiY-loY)*plotH
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#e5e7eb"/>`+"\n",
+			marginL, yy, opt.W-marginR, yy)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" font-size="11" font-family="sans-serif" text-anchor="end">%s</text>`+"\n",
+			marginL-6, yy+4, formatTick(tick))
+	}
+	// X ticks at the distinct sample positions of the first series.
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			seen[x] = true
+		}
+	}
+	for x := range seen {
+		xx := px(x)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#e5e7eb"/>`+"\n",
+			xx, marginT, xx, opt.H-marginB)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-size="11" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			xx, opt.H-marginB+16, formatTick(x))
+	}
+
+	// Series.
+	for si, s := range series {
+		color := strokePalette[si%len(strokePalette)]
+		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="`, color)
+		for i := range s.X {
+			if opt.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%.1f,%.1f ", px(s.X[i]), py(s.Y[i]))
+		}
+		fmt.Fprintln(w, `"/>`)
+		for i := range s.X {
+			if opt.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="2.8" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend.
+		ly := marginT + 16*si
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			opt.W-marginR+8, ly, opt.W-marginR+28, ly, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+			opt.W-marginR+34, ly+4, xmlEscape(s.Label))
+	}
+	_, err := io.WriteString(w, footer)
+	return err
+}
+
+func yTicks(lo, hi float64, log bool) []float64 {
+	var ticks []float64
+	if log {
+		for e := math.Floor(lo); e <= math.Ceil(hi); e++ {
+			ticks = append(ticks, math.Pow(10, e))
+		}
+		return ticks
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	for _, m := range []float64{5, 2} {
+		if span/(step*m) >= 4 {
+			step *= m
+			break
+		}
+	}
+	for v := math.Ceil(lo/step) * step; v <= hi; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.0fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 1 || av == 0:
+		return fmt.Sprintf("%g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

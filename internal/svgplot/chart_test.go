@@ -1,0 +1,71 @@
+package svgplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteLineChart(t *testing.T) {
+	series := []Series{
+		{Label: "baseline", X: []float64{100, 200, 400}, Y: []float64{5, 30, 180}},
+		{Label: "scanning", X: []float64{100, 200, 400}, Y: []float64{1.4, 7, 35}},
+	}
+	var buf bytes.Buffer
+	err := WriteLineChart(&buf, ChartOptions{
+		Title: "build time vs n", XLabel: "n", YLabel: "ms", LogY: true,
+	}, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+	if !strings.Contains(svg, "baseline") || !strings.Contains(svg, "scanning") {
+		t.Fatal("legend labels missing")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("incomplete document")
+	}
+}
+
+func TestWriteLineChartLinearAxis(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteLineChart(&buf, ChartOptions{Title: "t", XLabel: "x", YLabel: "y"},
+		[]Series{{Label: "a", X: []float64{1, 2}, Y: []float64{3, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<circle") {
+		t.Fatal("data markers missing")
+	}
+}
+
+func TestWriteLineChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLineChart(&buf, ChartOptions{}, nil); err == nil {
+		t.Fatal("no series must fail")
+	}
+	// All-nonpositive values on a log axis leave nothing to draw.
+	err := WriteLineChart(&buf, ChartOptions{LogY: true},
+		[]Series{{Label: "a", X: []float64{1}, Y: []float64{0}}})
+	if err == nil {
+		t.Fatal("no drawable points must fail")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("xmlEscape = %q", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{2e6: "2M", 50000: "50k", 12: "12", 0.05: "0.05", 0: "0"}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package svgplot renders skyline diagrams and Voronoi rasters as SVG, to
+// regenerate the paper's Figures 2, 3, 4, 7, 8 and 9 style pictures from any
+// dataset. Stdlib only; output is deterministic for a given input.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/polyomino"
+	"repro/internal/voronoi"
+)
+
+// Canvas describes the output viewport.
+type Canvas struct {
+	W, H    int     // pixel size
+	Padding float64 // fraction of data range left as margin
+}
+
+// DefaultCanvas is a 640x640 viewport with 8% margins.
+func DefaultCanvas() Canvas { return Canvas{W: 640, H: 640, Padding: 0.08} }
+
+type mapper struct {
+	x0, y0, x1, y1 float64
+	w, h           float64
+}
+
+func newMapper(pts []geom.Point, c Canvas) mapper {
+	x0, y0 := math.Inf(1), math.Inf(1)
+	x1, y1 := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		x0, x1 = math.Min(x0, p.X()), math.Max(x1, p.X())
+		y0, y1 = math.Min(y0, p.Y()), math.Max(y1, p.Y())
+	}
+	if len(pts) == 0 {
+		x0, y0, x1, y1 = 0, 0, 1, 1
+	}
+	padX := c.Padding*(x1-x0) + 1e-9
+	padY := c.Padding*(y1-y0) + 1e-9
+	return mapper{x0 - padX, y0 - padY, x1 + padX, y1 + padY, float64(c.W), float64(c.H)}
+}
+
+// px maps data coordinates to pixel coordinates (y axis flipped so larger y
+// is up, matching the paper's figures).
+func (m mapper) px(x, y float64) (float64, float64) {
+	return (x - m.x0) / (m.x1 - m.x0) * m.w,
+		m.h - (y-m.y0)/(m.y1-m.y0)*m.h
+}
+
+// clamp keeps infinite cell bounds on the canvas.
+func (m mapper) clamp(x, y float64) (float64, float64) {
+	return math.Max(m.x0, math.Min(x, m.x1)), math.Max(m.y0, math.Min(y, m.y1))
+}
+
+// palette returns a deterministic fill colour for a region label.
+func palette(label int32) string {
+	// Low-saturation rotating hues; label -1 (outside) is white.
+	if label < 0 {
+		return "#ffffff"
+	}
+	hues := []string{
+		"#dbeafe", "#dcfce7", "#fee2e2", "#fef9c3", "#f3e8ff",
+		"#cffafe", "#fde68a", "#e0e7ff", "#fce7f3", "#d1fae5",
+		"#ffedd5", "#e5e7eb",
+	}
+	return hues[int(label)%len(hues)]
+}
+
+// WriteQuadrantDiagram renders a cell-level diagram: polyomino fills, grid
+// lines, seed points and their labels.
+func WriteQuadrantDiagram(w io.Writer, pts []geom.Point, g *grid.Grid, part *polyomino.Partition, c Canvas) error {
+	m := newMapper(pts, c)
+	if _, err := fmt.Fprintf(w, header, c.W, c.H); err != nil {
+		return err
+	}
+	// Polyomino fills, cell by cell (adjacent same-label cells render as one
+	// visual region because they share the fill colour).
+	for i := 0; i < g.Cols(); i++ {
+		for j := 0; j < g.Rows(); j++ {
+			r := g.CellRect(i, j)
+			lx, ly := m.clamp(r.Lo[0], r.Lo[1])
+			hx, hy := m.clamp(r.Hi[0], r.Hi[1])
+			x0, y0 := m.px(lx, hy) // top-left pixel corner
+			x1, y1 := m.px(hx, ly)
+			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x0, y0, x1-x0, y1-y0, palette(part.At(i, j)))
+		}
+	}
+	// Grid lines.
+	for _, x := range g.Xs {
+		px0, py0 := m.px(x, m.y0)
+		px1, py1 := m.px(x, m.y1)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#9ca3af" stroke-width="0.5"/>`+"\n", px0, py0, px1, py1)
+	}
+	for _, y := range g.Ys {
+		px0, py0 := m.px(m.x0, y)
+		px1, py1 := m.px(m.x1, y)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#9ca3af" stroke-width="0.5"/>`+"\n", px0, py0, px1, py1)
+	}
+	writePoints(w, pts, m)
+	_, err := io.WriteString(w, footer)
+	return err
+}
+
+// WriteSweepingDiagram renders the sweeping algorithm's output: the
+// polyomino boundary rings over the seed points (the paper's Figure 8).
+func WriteSweepingDiagram(w io.Writer, pts []geom.Point, rings []polyomino.Ring, c Canvas) error {
+	m := newMapper(pts, c)
+	if _, err := fmt.Fprintf(w, header, c.W, c.H); err != nil {
+		return err
+	}
+	for ri, ring := range rings {
+		if _, err := fmt.Fprintf(w, `<polygon fill="%s" stroke="#374151" stroke-width="0.8" points="`, palette(int32(ri))); err != nil {
+			return err
+		}
+		for _, v := range ring {
+			x, y := m.px(m.clamp(v.X, v.Y))
+			fmt.Fprintf(w, "%.1f,%.1f ", x, y)
+		}
+		fmt.Fprintln(w, `"/>`)
+	}
+	writePoints(w, pts, m)
+	_, err := io.WriteString(w, footer)
+	return err
+}
+
+// WriteDynamicDiagram renders a dynamic skyline diagram at subcell
+// granularity (the paper's Figure 9 style): subcell fills coloured by
+// polyomino, bisector subdivision lines, and the seed points.
+func WriteDynamicDiagram(w io.Writer, pts []geom.Point, sg *grid.SubGrid, part *polyomino.Partition, c Canvas) error {
+	m := newMapper(pts, c)
+	if _, err := fmt.Fprintf(w, header, c.W, c.H); err != nil {
+		return err
+	}
+	for i := 0; i < sg.Cols(); i++ {
+		for j := 0; j < sg.Rows(); j++ {
+			r := sg.SubcellRect(i, j)
+			lx, ly := m.clamp(r.Lo[0], r.Lo[1])
+			hx, hy := m.clamp(r.Hi[0], r.Hi[1])
+			x0, y0 := m.px(lx, hy)
+			x1, y1 := m.px(hx, ly)
+			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x0, y0, x1-x0, y1-y0, palette(part.At(i, j)))
+		}
+	}
+	for _, l := range sg.XLines {
+		px0, py0 := m.px(l.V, m.y0)
+		px1, py1 := m.px(l.V, m.y1)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#9ca3af" stroke-width="0.3" stroke-dasharray="2,2"/>`+"\n", px0, py0, px1, py1)
+	}
+	for _, l := range sg.YLines {
+		px0, py0 := m.px(m.x0, l.V)
+		px1, py1 := m.px(m.x1, l.V)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#9ca3af" stroke-width="0.3" stroke-dasharray="2,2"/>`+"\n", px0, py0, px1, py1)
+	}
+	writePoints(w, pts, m)
+	_, err := io.WriteString(w, footer)
+	return err
+}
+
+// WriteVoronoi renders a rasterised Voronoi diagram (the paper's Figure 2).
+func WriteVoronoi(w io.Writer, pts []geom.Point, r *voronoi.Raster, c Canvas) error {
+	m := newMapper(pts, c)
+	if _, err := fmt.Fprintf(w, header, c.W, c.H); err != nil {
+		return err
+	}
+	cw := (r.X1 - r.X0) / float64(r.W)
+	ch := (r.Y1 - r.Y0) / float64(r.H)
+	for ix := 0; ix < r.W; ix++ {
+		for iy := 0; iy < r.H; iy++ {
+			x := r.X0 + float64(ix)*cw
+			y := r.Y0 + float64(iy)*ch
+			x0, y0 := m.px(x, y+ch)
+			x1, y1 := m.px(x+cw, y)
+			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				x0, y0, x1-x0+0.5, y1-y0+0.5, palette(int32(r.Cell[ix][iy])))
+		}
+	}
+	writePoints(w, pts, m)
+	_, err := io.WriteString(w, footer)
+	return err
+}
+
+func writePoints(w io.Writer, pts []geom.Point, m mapper) {
+	for _, p := range pts {
+		x, y := m.px(p.X(), p.Y())
+		fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="#111827"/>`+"\n", x, y)
+		fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="12" font-family="sans-serif" fill="#111827">p%d</text>`+"\n", x+5, y-5, p.ID)
+	}
+}
+
+const header = `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">` + "\n"
+const footer = `</svg>` + "\n"

@@ -1,0 +1,122 @@
+// Package voronoi provides the Voronoi-diagram side of the paper's central
+// analogy (Figure 2 vs Figure 3): the Voronoi diagram partitions the plane
+// into regions of constant nearest neighbour exactly as the skyline diagram
+// partitions it into regions of constant skyline result.
+//
+// This package exists for the examples and documentation, not as a
+// production Voronoi implementation: it offers exact brute-force (k)NN
+// queries and a rasterised Voronoi partition on an arbitrary resolution
+// suitable for the SVG renderings in examples/voronoi-vs-skyline.
+package voronoi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Nearest returns the point of pts closest to q in Euclidean distance, and
+// an error on an empty dataset. Ties break toward the smaller ID, making
+// results deterministic.
+func Nearest(pts []geom.Point, q geom.Point) (geom.Point, error) {
+	if len(pts) == 0 {
+		return geom.Point{}, fmt.Errorf("voronoi: empty dataset")
+	}
+	best := pts[0]
+	bestD := dist2(best, q)
+	for _, p := range pts[1:] {
+		d := dist2(p, q)
+		if d < bestD || (d == bestD && p.ID < best.ID) {
+			best, bestD = p, d
+		}
+	}
+	return best, nil
+}
+
+// KNearest returns the k nearest points to q, closest first; ties break by
+// ID. k larger than the dataset returns everything.
+func KNearest(pts []geom.Point, q geom.Point, k int) []geom.Point {
+	if k <= 0 {
+		return nil
+	}
+	s := make([]geom.Point, len(pts))
+	copy(s, pts)
+	sort.Slice(s, func(i, j int) bool {
+		di, dj := dist2(s[i], q), dist2(s[j], q)
+		if di != dj {
+			return di < dj
+		}
+		return s[i].ID < s[j].ID
+	})
+	if k > len(s) {
+		k = len(s)
+	}
+	return s[:k]
+}
+
+func dist2(a, b geom.Point) float64 {
+	var s float64
+	for i := range a.Coords {
+		d := a.Coords[i] - b.Coords[i]
+		s += d * d
+	}
+	return s
+}
+
+// Raster is a rasterised Voronoi partition of the rectangle [X0,X1]x[Y0,Y1]:
+// Cell[ix][iy] holds the ID of the nearest seed to the sample at the centre
+// of raster pixel (ix, iy). It is the k=1 analogue of the skyline diagram's
+// per-cell results, quantised for rendering.
+type Raster struct {
+	X0, Y0, X1, Y1 float64
+	W, H           int
+	Cell           [][]int
+}
+
+// Rasterize samples the Voronoi partition of pts on a W x H raster covering
+// the bounding box of the points, padded by 5%.
+func Rasterize(pts []geom.Point, w, h int) (*Raster, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("voronoi: empty dataset")
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("voronoi: raster %dx%d invalid", w, h)
+	}
+	x0, y0 := math.Inf(1), math.Inf(1)
+	x1, y1 := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		x0, x1 = math.Min(x0, p.X()), math.Max(x1, p.X())
+		y0, y1 = math.Min(y0, p.Y()), math.Max(y1, p.Y())
+	}
+	padX, padY := 0.05*(x1-x0)+1e-9, 0.05*(y1-y0)+1e-9
+	r := &Raster{X0: x0 - padX, Y0: y0 - padY, X1: x1 + padX, Y1: y1 + padY, W: w, H: h}
+	r.Cell = make([][]int, w)
+	for ix := 0; ix < w; ix++ {
+		r.Cell[ix] = make([]int, h)
+		for iy := 0; iy < h; iy++ {
+			q := geom.Pt2(-1,
+				r.X0+(float64(ix)+0.5)/float64(w)*(r.X1-r.X0),
+				r.Y0+(float64(iy)+0.5)/float64(h)*(r.Y1-r.Y0))
+			nn, err := Nearest(pts, q)
+			if err != nil {
+				return nil, err
+			}
+			r.Cell[ix][iy] = nn.ID
+		}
+	}
+	return r, nil
+}
+
+// RegionSizes returns, per seed ID, the number of raster pixels in its
+// Voronoi cell.
+func (r *Raster) RegionSizes() map[int]int {
+	sizes := make(map[int]int)
+	for _, col := range r.Cell {
+		for _, id := range col {
+			sizes[id]++
+		}
+	}
+	return sizes
+}

@@ -1,0 +1,78 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNearest(t *testing.T) {
+	pts := []geom.Point{geom.Pt2(0, 0, 0), geom.Pt2(1, 10, 0), geom.Pt2(2, 5, 5)}
+	nn, err := Nearest(pts, geom.Pt2(-1, 1, 1))
+	if err != nil || nn.ID != 0 {
+		t.Fatalf("Nearest = %v, %v", nn, err)
+	}
+	if _, err := Nearest(nil, geom.Pt2(-1, 0, 0)); err == nil {
+		t.Fatal("empty dataset must fail")
+	}
+	// Tie-break by ID: query equidistant from 0 and 1.
+	nn, _ = Nearest(pts[:2], geom.Pt2(-1, 5, 0))
+	if nn.ID != 0 {
+		t.Fatalf("tie should go to smaller ID, got %d", nn.ID)
+	}
+}
+
+func TestKNearestSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 30)
+	for i := range pts {
+		pts[i] = geom.Pt2(i, rng.Float64()*10, rng.Float64()*10)
+	}
+	q := geom.Pt2(-1, 5, 5)
+	got := KNearest(pts, q, 5)
+	if len(got) != 5 {
+		t.Fatalf("k=5 returned %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if dist2(got[i-1], q) > dist2(got[i], q) {
+			t.Fatal("results not sorted by distance")
+		}
+	}
+	if len(KNearest(pts, q, 100)) != len(pts) {
+		t.Fatal("k > n should return all")
+	}
+	if KNearest(pts, q, 0) != nil {
+		t.Fatal("k=0 returns nothing")
+	}
+	if got, _ := Nearest(pts, q); got.ID != KNearest(pts, q, 1)[0].ID {
+		t.Fatal("Nearest and KNearest(1) disagree")
+	}
+}
+
+func TestRasterize(t *testing.T) {
+	pts := []geom.Point{geom.Pt2(0, 0, 0), geom.Pt2(1, 10, 10)}
+	r, err := Rasterize(pts, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower-left pixel belongs to p0, upper-right to p1.
+	if r.Cell[0][0] != 0 || r.Cell[19][19] != 1 {
+		t.Fatalf("corner assignment wrong: %d %d", r.Cell[0][0], r.Cell[19][19])
+	}
+	sizes := r.RegionSizes()
+	if sizes[0]+sizes[1] != 400 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	// Two symmetric seeds split the raster roughly evenly.
+	if math.Abs(float64(sizes[0]-sizes[1])) > 40 {
+		t.Fatalf("unbalanced split: %v", sizes)
+	}
+	if _, err := Rasterize(nil, 5, 5); err == nil {
+		t.Fatal("empty dataset must fail")
+	}
+	if _, err := Rasterize(pts, 0, 5); err == nil {
+		t.Fatal("bad raster size must fail")
+	}
+}

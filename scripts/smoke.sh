@@ -1,0 +1,35 @@
+#!/bin/sh
+# Smoke-runs every example and CLI path end to end. Used in addition to
+# `go test ./...`; exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== examples"
+go run ./examples/quickstart >/dev/null
+go run ./examples/hotelfinder >/dev/null
+go run ./examples/nba >/dev/null
+go run ./examples/private-queries >/dev/null
+go run ./examples/moving-query >/dev/null
+go run ./examples/disk-store >/dev/null
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+(cd "$tmp" && go run -C "$OLDPWD" ./examples/voronoi-vs-skyline >/dev/null)
+
+echo "== skydiag"
+go run ./cmd/skydiag gen -n 60 -dist anti -domain 64 -o "$tmp/pts.csv"
+go run ./cmd/skydiag build -in "$tmp/pts.csv" -kind quadrant >/dev/null
+go run ./cmd/skydiag build -in "$tmp/pts.csv" -kind global >/dev/null
+go run ./cmd/skydiag build -in "$tmp/pts.csv" -kind dynamic >/dev/null
+go run ./cmd/skydiag query -in "$tmp/pts.csv" -q 10.5,20.5 >/dev/null
+go run ./cmd/skydiag svg -kind sweeping -o "$tmp/s.svg"
+go run ./cmd/skydiag save -o "$tmp/d.sky" >/dev/null
+go run ./cmd/skydiag serve-file -in "$tmp/d.sky" -q 10,80 >/dev/null
+go run ./cmd/skydiag influence -id 11 >/dev/null
+go run ./cmd/skydiag trajectory -waypoints "2,70;30,95" >/dev/null
+
+echo "== skybench"
+go run ./cmd/skybench -quick -exp E6 >/dev/null
+go run ./cmd/skybench -quick -exp E1 -plotdir "$tmp/figs" >/dev/null
+test -s "$tmp/figs/E1.svg"
+
+echo "smoke OK"
