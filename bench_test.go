@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation (reconstructed suite
-// E1–E10, plus the repository-extension experiments E11–E12; see DESIGN.md §5
+// E1–E10, plus the repository-extension experiments E11–E14; see DESIGN.md §5
 // and EXPERIMENTS.md). One benchmark family per
 // table/figure; cmd/skybench prints the same measurements as paper-style
 // tables. Run with:
@@ -8,14 +8,19 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/dyndiag"
 	"repro/internal/experiments"
 	"repro/internal/geom"
+	"repro/internal/metrics"
 	"repro/internal/quaddiag"
+	"repro/internal/server"
 	"repro/internal/skyline"
 )
 
@@ -314,6 +319,87 @@ func BenchmarkE11_Maintenance(b *testing.B) {
 			}
 		})
 	}
+}
+
+// E13: serving-layer latency — N single /v1/skyline requests vs one
+// /v1/skyline/batch call with N queries against the same handler. The batch
+// path amortizes the snapshot read lock and the HTTP/JSON round-trip, which
+// is the point of adding it; ns/query makes the two comparable.
+func BenchmarkE13_ServeSingleVsBatch(b *testing.B) {
+	pts := experiments.GenQuadrant(dataset.Independent, 400, benchSeed)
+	h, err := server.New(pts, server.Config{MaxDynamicPoints: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 1000
+	queries := make([][]float64, batchSize)
+	for i := range queries {
+		queries[i] = []float64{float64(i % 800), float64((i * 37) % 800)}
+	}
+
+	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%batchSize]
+			req := httptest.NewRequest("GET",
+				fmt.Sprintf("/v1/skyline?x=%g&y=%g", q[0], q[1]), nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("code %d", rec.Code)
+			}
+		}
+	})
+
+	body, err := json.Marshal(map[string]interface{}{"kind": "quadrant", "queries": queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("batch%d", batchSize), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v1/skyline/batch", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batchSize), "ns/query")
+	})
+}
+
+// E14: instrumentation primitive overhead — the per-request cost the
+// serving handlers pay for counters and latency histograms.
+func BenchmarkE14_MetricsOverhead(b *testing.B) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("bench_ops_total", "")
+	hist := reg.Histogram("bench_seconds", "")
+	b.Run("counter-inc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hist.Observe(1e-5 * float64(i%9))
+		}
+	})
+	b.Run("counter-inc-parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("histogram-observe-parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				hist.Observe(3e-4)
+			}
+		})
+	})
 }
 
 // E12: compact vs flat storage, reported as bytes per representation.

@@ -13,7 +13,10 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/svgplot"
 )
 
@@ -24,6 +27,7 @@ func main() {
 	reps := flag.Int("reps", 1, "report the minimum of this many runs per measurement")
 	plotDir := flag.String("plotdir", "", "also write each experiment's figure as <dir>/<ID>.svg")
 	format := flag.String("format", "text", "table output: text|markdown")
+	metricsOut := flag.String("metricsout", "", "write Prometheus-format build metrics from an instrumented build pass to this file")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Reps: *reps}
@@ -45,6 +49,13 @@ func main() {
 			fmt.Print(t.Format())
 		}
 		fmt.Println()
+	}
+	if *metricsOut != "" {
+		if err := writeBuildMetrics(*metricsOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "skybench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
 	}
 	if *plotDir == "" {
 		return
@@ -72,4 +83,33 @@ func main() {
 		f.Close()
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
+}
+
+// writeBuildMetrics runs one instrumented build of each diagram kind through
+// core.Options.Metrics and dumps the resulting registry — build-duration
+// histograms, build counts, and cell-count gauges — as a Prometheus text
+// file. The sizes match the quick experiment regime, so the artifact is a
+// cheap per-commit record of build cost.
+func writeBuildMetrics(path string, seed int64) error {
+	reg := metrics.NewRegistry()
+	pts := experiments.GenQuadrant(dataset.Independent, 200, seed)
+	if _, err := core.BuildQuadrant(pts, core.Options{Metrics: reg}); err != nil {
+		return fmt.Errorf("instrumented quadrant build: %w", err)
+	}
+	if _, err := core.BuildGlobal(pts, core.Options{Metrics: reg}); err != nil {
+		return fmt.Errorf("instrumented global build: %w", err)
+	}
+	small := experiments.GenContinuous(dataset.Independent, 32, seed)
+	if _, err := core.BuildDynamic(small, core.Options{Metrics: reg}); err != nil {
+		return fmt.Errorf("instrumented dynamic build: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

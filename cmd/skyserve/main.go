@@ -3,16 +3,29 @@
 //
 //	skyserve -in points.csv -addr :8080
 //	curl 'localhost:8080/v1/skyline?kind=global&x=10&y=80'
+//	curl 'localhost:8080/metrics'
 //
 // Omitting -in serves the paper's 11-hotel running example.
+//
+// Every API request runs under -request-timeout via http.TimeoutHandler;
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ outside the
+// timeout wrapper (profiles stream for longer than any API deadline). On
+// SIGINT/SIGTERM the server drains in-flight requests for up to
+// -shutdown-grace before exiting. See docs/OBSERVABILITY.md.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
@@ -23,6 +36,10 @@ func main() {
 	in := flag.String("in", "", "input CSV (default: the paper's hotel example)")
 	addr := flag.String("addr", ":8080", "listen address")
 	maxDyn := flag.Int("max-dynamic", 128, "largest dataset for which the dynamic diagram is built")
+	maxBatch := flag.Int("max-batch", 8192, "largest accepted /v1/skyline/batch query count")
+	reqTimeout := flag.Duration("request-timeout", 15*time.Second, "per-request deadline for API endpoints (0 disables)")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	var pts []geom.Point
@@ -41,10 +58,48 @@ func main() {
 		pts = loaded
 	}
 
-	h, err := server.New(pts, server.Config{MaxDynamicPoints: *maxDyn})
+	h, err := server.New(pts, server.Config{MaxDynamicPoints: *maxDyn, MaxBatch: *maxBatch})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("skyserve: %d points, listening on %s\n", len(pts), *addr)
-	log.Fatal(http.ListenAndServe(*addr, h))
+
+	var api http.Handler = h
+	if *reqTimeout > 0 {
+		api = http.TimeoutHandler(api, *reqTimeout, `{"error":"request timed out"}`)
+	}
+	root := http.NewServeMux()
+	root.Handle("/", api)
+	if *pprofOn {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           root,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("skyserve: %d points, listening on %s (pprof %v)\n", len(pts), *addr, *pprofOn)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("skyserve: shutting down, draining for up to %s", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("skyserve: shutdown: %v", err)
+	}
 }

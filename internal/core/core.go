@@ -25,10 +25,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dyndiag"
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/metrics"
 	"repro/internal/polyomino"
 	"repro/internal/quaddiag"
 	"repro/internal/skyline"
@@ -52,6 +54,26 @@ type Options struct {
 	// handling them. Useful when the caller intends to run the sweeping
 	// construction (quaddiag.BuildSweeping) on the same data later.
 	RequireGeneralPosition bool
+	// Metrics, when non-nil, receives build-side instrumentation: every
+	// successful Build* reports its duration (skydiag_build_seconds), a
+	// completion count (skydiag_builds_total), and the resulting cell count
+	// (skydiag_build_cells; subcells for the dynamic diagram), each labelled
+	// with kind=quadrant|global|dynamic.
+	Metrics *metrics.Registry
+}
+
+// observeBuild reports one completed diagram build to the optional registry.
+func observeBuild(reg *metrics.Registry, kind string, elapsed time.Duration, cells int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("skydiag_builds_total",
+		"Diagram builds completed, by kind.", "kind", kind).Inc()
+	reg.Histogram("skydiag_build_seconds",
+		"Diagram build duration in seconds, by kind.", "kind", kind).ObserveDuration(elapsed)
+	reg.Gauge("skydiag_build_cells",
+		"Cells (subcells for dynamic) in the most recently built diagram, by kind.",
+		"kind", kind).Set(float64(cells))
 }
 
 func (o Options) quadrantAlg(pts []Point) (quaddiag.Algorithm, error) {
@@ -113,10 +135,12 @@ func BuildQuadrant(pts []Point, opts Options) (*QuadrantDiagram, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	d, err := quaddiag.Build(pts, alg)
 	if err != nil {
 		return nil, err
 	}
+	observeBuild(opts.Metrics, "quadrant", time.Since(start), d.Grid.NumCells())
 	return &QuadrantDiagram{d: d, byID: indexByID(pts)}, nil
 }
 
@@ -166,10 +190,12 @@ func BuildGlobal(pts []Point, opts Options) (*GlobalDiagram, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	d, err := quaddiag.BuildGlobal(pts, alg)
 	if err != nil {
 		return nil, err
 	}
+	observeBuild(opts.Metrics, "global", time.Since(start), d.Grid.NumCells())
 	return &GlobalDiagram{d: d, byID: indexByID(pts)}, nil
 }
 
@@ -191,10 +217,12 @@ func (gd *GlobalDiagram) Grid() *grid.Grid { return gd.d.Grid }
 // diagram has O(min(s, n^2)^2) subcells for domain size s: building it is
 // only sensible for modest n or tight domains, exactly as the paper reports.
 func BuildDynamic(pts []Point, opts Options) (*DynamicDiagram, error) {
+	start := time.Now()
 	d, err := dyndiag.Build(pts, opts.dynamicAlg())
 	if err != nil {
 		return nil, err
 	}
+	observeBuild(opts.Metrics, "dynamic", time.Since(start), d.Sub.NumSubcells())
 	return &DynamicDiagram{d: d, byID: indexByID(pts)}, nil
 }
 

@@ -1,0 +1,445 @@
+// Package metrics is a dependency-free instrumentation substrate for the
+// skyline serving and build stack: lock-free counters, gauges, and latency
+// histograms collected in a Registry and exposed in the Prometheus text
+// format (version 0.0.4).
+//
+// Hot-path operations (Counter.Inc, Gauge.Set, Histogram.Observe) are single
+// atomic instructions — safe and cheap to call from every request handler
+// concurrently. Registration (Registry.Counter and friends) takes a mutex
+// and is intended to happen once per metric series; handlers should hold on
+// to the returned metric rather than re-looking it up per request, although
+// re-lookup is also safe.
+//
+// All methods are safe on a nil *Registry: they return live but unregistered
+// metrics, so instrumented code needs no nil checks.
+//
+// Metric names follow Prometheus conventions: durations are observed in
+// seconds, totals end in _total, and label pairs are passed as alternating
+// key, value strings:
+//
+//	reg := metrics.NewRegistry()
+//	builds := reg.Counter("skydiag_builds_total", "Diagram builds.", "kind", "quadrant")
+//	builds.Inc()
+//	lat := reg.Histogram("http_request_seconds", "Request latency.", "endpoint", "/v1/skyline")
+//	start := time.Now()
+//	...
+//	lat.ObserveDuration(time.Since(start))
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n. Negative deltas are ignored: counters are
+// monotonic by contract.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that may go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// defaultBounds are the histogram bucket upper bounds, in seconds:
+// exponential from 1µs doubling up to ~537s, which comfortably spans both
+// sub-millisecond point-location queries and multi-second diagram builds.
+var defaultBounds = func() []float64 {
+	bounds := make([]float64, 30)
+	b := 1e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}()
+
+// Histogram accumulates float64 observations (conventionally seconds) into
+// exponential buckets. All updates are lock-free.
+type Histogram struct {
+	counts  []atomic.Int64 // len(defaultBounds)+1; last bucket is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum of observations
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, len(defaultBounds)+1)}
+}
+
+// Observe records one value. Values are clamped into the bucket range; NaN
+// observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(defaultBounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram, suitable for
+// quantile estimation. Counts[i] holds observations in (Bounds[i-1],
+// Bounds[i]]; the final entry counts observations above every bound.
+type HistogramSnapshot struct {
+	Count  int64
+	Sum    float64
+	Bounds []float64
+	Counts []int64
+}
+
+// Snapshot copies the histogram state. The per-bucket counts and the total
+// are read without a global lock, so a snapshot taken during concurrent
+// observation may be off by in-flight observations — fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+		Bounds: defaultBounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the containing bucket, the same estimate Prometheus's
+// histogram_quantile computes. It returns 0 for an empty histogram and the
+// largest finite bound for observations beyond it.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			upper := 0.0
+			lower := 0.0
+			if i < len(s.Bounds) {
+				upper = s.Bounds[i]
+			} else {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one labelled instance of a metric family. Exactly one of c, g, h
+// is non-nil, matching the family type.
+type series struct {
+	labels string // rendered `k="v",...` sorted by key, "" when unlabelled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+type family struct {
+	help    string
+	typ     string
+	order   []string // label keys in registration order
+	byLabel map[string]*series
+}
+
+// Registry holds named metric families. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use, and safe on a nil
+// receiver (returning unregistered metrics).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup finds or creates the series for (name, labels) with the given type.
+// A name registered under a different type yields a fresh unregistered
+// series rather than corrupting the family — the misuse surfaces as a metric
+// that silently stops being exported, never as a crash in the serving path.
+func (r *Registry) lookup(name, help, typ string, labels []string) *series {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{help: help, typ: typ, byLabel: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		return newSeries("", typ)
+	}
+	s, ok := f.byLabel[key]
+	if !ok {
+		s = newSeries(key, typ)
+		f.byLabel[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+func newSeries(key, typ string) *series {
+	s := &series{labels: key}
+	switch typ {
+	case typeCounter:
+		s.c = new(Counter)
+	case typeGauge:
+		s.g = new(Gauge)
+	case typeHistogram:
+		s.h = newHistogram()
+	}
+	return s
+}
+
+// Counter returns the counter registered under name with the given label
+// pairs, creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	return r.lookup(name, help, typeCounter, labels).c
+}
+
+// Gauge returns the gauge registered under name with the given label pairs,
+// creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	return r.lookup(name, help, typeGauge, labels).g
+}
+
+// Histogram returns the histogram registered under name with the given label
+// pairs, creating it on first use.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	if r == nil {
+		return newHistogram()
+	}
+	return r.lookup(name, help, typeHistogram, labels).h
+}
+
+// renderLabels turns alternating key, value arguments into a canonical
+// `k="v",...` fragment sorted by key. A dangling key without a value is
+// dropped.
+func renderLabels(labels []string) string {
+	n := len(labels) / 2
+	if n == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, n)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// ContentType is the Content-Type of the exposition format WritePrometheus
+// emits.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format, families sorted by name, series in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Copy the series lists under the lock; the values themselves are
+	// atomics, read afterwards without it.
+	type fam struct {
+		name, help, typ string
+		series          []*series
+	}
+	fams := make([]fam, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		ss := make([]*series, 0, len(f.order))
+		for _, key := range f.order {
+			ss = append(ss, f.byLabel[key])
+		}
+		fams = append(fams, fam{name, f.help, f.typ, ss})
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f.name, f.typ, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, name, typ string, s *series) error {
+	switch typ {
+	case typeCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(name, s.labels), s.c.Value())
+		return err
+	case typeGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(name, s.labels), formatFloat(s.g.Value()))
+		return err
+	case typeHistogram:
+		snap := s.h.Snapshot()
+		var cum int64
+		for i, c := range snap.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(snap.Bounds) {
+				le = formatFloat(snap.Bounds[i])
+			}
+			labels := s.labels
+			if labels != "" {
+				labels += ","
+			}
+			labels += `le="` + le + `"`
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, labels, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, bracketed(s.labels), formatFloat(snap.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, bracketed(s.labels), snap.Count)
+		return err
+	}
+	return nil
+}
+
+func seriesName(name, labels string) string {
+	return name + bracketed(labels)
+}
+
+func bracketed(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

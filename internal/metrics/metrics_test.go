@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	// 1000 observations spread uniformly over (0, 100ms].
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-4)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean() < 0.049 || s.Mean() > 0.051 {
+		t.Fatalf("mean = %v, want ~0.05", s.Mean())
+	}
+	// Bucket interpolation is coarse (powers of two) but the estimate must
+	// land within the containing bucket: p50 of the data is 50ms, which
+	// falls in the (32.768ms, 65.536ms] bucket.
+	if p50 := s.Quantile(0.5); p50 <= 0.032 || p50 > 0.066 {
+		t.Fatalf("p50 = %v, want within (0.032768, 0.065536]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 <= 0.065 || p99 > 0.132 {
+		t.Fatalf("p99 = %v, want within (0.065536, 0.131072]", p99)
+	}
+	if q0 := s.Quantile(0); q0 < 0 {
+		t.Fatalf("q0 = %v", q0)
+	}
+	if q1 := s.Quantile(1); q1 <= 0 {
+		t.Fatalf("q1 = %v", q1)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := newHistogram()
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+	h.Observe(1e9) // beyond every bound: lands in +Inf bucket
+	s := h.Snapshot()
+	if s.Count != 1 || s.Counts[len(s.Counts)-1] != 1 {
+		t.Fatalf("overflow observation not in +Inf bucket: %+v", s)
+	}
+	if got := s.Quantile(0.5); got != s.Bounds[len(s.Bounds)-1] {
+		t.Fatalf("overflow p50 = %v, want last bound", got)
+	}
+	before := h.Snapshot().Count
+	h.Observe(math.NaN())
+	h.ObserveDuration(time.Millisecond)
+	if got := h.Snapshot().Count; got != before+1 {
+		t.Fatalf("NaN should be dropped: count %d -> %d", before, got)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "").Inc()
+	r.Gauge("g", "").Set(1)
+	r.Histogram("h", "").Observe(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry WritePrometheus = %q, %v", sb.String(), err)
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", "h", "endpoint", "/a")
+	b := r.Counter("reqs_total", "h", "endpoint", "/a")
+	other := r.Counter("reqs_total", "h", "endpoint", "/b")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if a == other {
+		t.Fatal("different labels must return different counters")
+	}
+	// Re-registering under a different type must not corrupt the family.
+	g := r.Gauge("reqs_total", "h")
+	g.Set(42)
+	a.Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "42") {
+		t.Fatalf("type-conflicting series leaked into exposition:\n%s", sb.String())
+	}
+}
+
+// lineRe matches a sample line of the text exposition format.
+var lineRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9].*|NaN|[+-]Inf)$`)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sky_requests_total", "Requests served.", "endpoint", "/v1/skyline", "code", "200").Add(7)
+	r.Gauge("sky_points", "Points in the served dataset.").Set(11)
+	h := r.Histogram("sky_latency_seconds", "Latency.", "endpoint", "/v1/skyline")
+	for i := 0; i < 10; i++ {
+		h.Observe(0.001 * float64(i+1))
+	}
+	r.Gauge("sky_cells", "Cells.", "kind", `we"ird\`).Set(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Labels render sorted by key.
+	if !strings.Contains(out, `sky_requests_total{code="200",endpoint="/v1/skyline"} 7`) {
+		t.Fatalf("missing counter line:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE sky_latency_seconds histogram") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `kind="we\"ird\\"`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+
+	// Every line is either a comment or a well-formed sample; histogram
+	// buckets are cumulative and end at the total count.
+	var lastCum int64 = -1
+	var bucketTotal, count int64
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !lineRe.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		if strings.HasPrefix(line, "sky_latency_seconds_bucket") {
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value in %q: %v", line, err)
+			}
+			if v < lastCum {
+				t.Fatalf("buckets not cumulative: %d after %d", v, lastCum)
+			}
+			lastCum, bucketTotal = v, v
+		}
+		if strings.HasPrefix(line, "sky_latency_seconds_count") {
+			count, _ = strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		}
+	}
+	if bucketTotal != 10 || count != 10 {
+		t.Fatalf("+Inf bucket %d and count %d, want 10", bucketTotal, count)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Half the workers hit one shared series, the rest register
+			// their own, exercising both the hot path and registration.
+			label := "shared"
+			if w%2 == 1 {
+				label = "w" + strconv.Itoa(w)
+			}
+			c := r.Counter("ops_total", "", "worker", label)
+			h := r.Histogram("op_seconds", "", "worker", label)
+			g := r.Gauge("busy", "", "worker", label)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(1e-5 * float64(i%7))
+				g.Add(1)
+				g.Add(-1)
+				if i%500 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	shared := r.Counter("ops_total", "", "worker", "shared").Value()
+	if want := int64(workers / 2 * perWorker); shared != want {
+		t.Fatalf("shared counter = %d, want %d", shared, want)
+	}
+	if got := r.Histogram("op_seconds", "", "worker", "shared").Snapshot().Count; got != int64(workers/2*perWorker) {
+		t.Fatalf("shared histogram count = %d", got)
+	}
+}

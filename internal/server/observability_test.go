@@ -1,0 +1,493 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestKindAndParamErrors is the table test over every kind/param error case
+// of both query endpoints: each bad input must yield the documented status
+// and a JSON body with a non-empty "error" — never a 200 with an empty body.
+func TestKindAndParamErrors(t *testing.T) {
+	pts, err := dataset.Generate(dataset.Config{N: 40, Dim: 2, Dist: dataset.Independent, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(pts, Config{MaxDynamicPoints: 10, MaxBatch: 4}) // dynamic disabled, tiny batch cap
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"skyline unknown kind", "GET", "/v1/skyline?kind=nope&x=1&y=1", "", 400},
+		{"skyline kind with junk", "GET", "/v1/skyline?kind=quadrant2&x=1&y=1", "", 400},
+		{"skyline case-insensitive kind ok", "GET", "/v1/skyline?kind=QuAdRaNt&x=1&y=1", "", 200},
+		{"skyline padded kind ok", "GET", "/v1/skyline?kind=%20global%20&x=1&y=1", "", 200},
+		{"skyline missing x", "GET", "/v1/skyline?y=1", "", 400},
+		{"skyline missing y", "GET", "/v1/skyline?x=1", "", 400},
+		{"skyline non-numeric x", "GET", "/v1/skyline?x=abc&y=1", "", 400},
+		{"skyline NaN x", "GET", "/v1/skyline?x=NaN&y=1", "", 400},
+		{"skyline Inf y", "GET", "/v1/skyline?x=1&y=%2BInf", "", 400},
+		{"skyline dynamic disabled", "GET", "/v1/skyline?kind=dynamic&x=1&y=1", "", 501},
+		{"skyline unknown kind beats coords", "GET", "/v1/skyline?kind=nope", "", 400},
+		{"batch unknown kind", "POST", "/v1/skyline/batch", `{"kind":"nope","queries":[[1,2]]}`, 400},
+		{"batch case-insensitive kind ok", "POST", "/v1/skyline/batch", `{"kind":"Global","queries":[[1,2]]}`, 200},
+		{"batch default kind ok", "POST", "/v1/skyline/batch", `{"queries":[[1,2]]}`, 200},
+		{"batch garbage body", "POST", "/v1/skyline/batch", `garbage`, 400},
+		{"batch empty queries", "POST", "/v1/skyline/batch", `{"kind":"quadrant","queries":[]}`, 400},
+		{"batch missing queries", "POST", "/v1/skyline/batch", `{"kind":"quadrant"}`, 400},
+		{"batch oversized", "POST", "/v1/skyline/batch", `{"queries":[[1,2],[1,2],[1,2],[1,2],[1,2]]}`, 413},
+		{"batch wrong arity", "POST", "/v1/skyline/batch", `{"queries":[[1,2],[3]]}`, 400},
+		{"batch non-finite coord", "POST", "/v1/skyline/batch", `{"queries":[[1,2],["NaN",2]]}`, 400},
+		{"batch dynamic disabled", "POST", "/v1/skyline/batch", `{"kind":"dynamic","queries":[[1,2]]}`, 501},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var resp *http.Response
+			var body []byte
+			switch c.method {
+			case "GET":
+				r, err := http.Get(srv.URL + c.path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r.Body.Close()
+				var buf bytes.Buffer
+				buf.ReadFrom(r.Body)
+				resp, body = r, buf.Bytes()
+			case "POST":
+				resp, body = postJSON(t, srv.URL+c.path, c.body)
+			}
+			if resp.StatusCode != c.want {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, c.want, body)
+			}
+			if len(bytes.TrimSpace(body)) == 0 {
+				t.Fatal("empty response body")
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type = %q", ct)
+			}
+			if c.want >= 400 {
+				var e errorResponse
+				if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+					t.Fatalf("error body %q not a JSON error: %v", body, err)
+				}
+			}
+		})
+	}
+}
+
+func TestBatchMatchesSingleQueries(t *testing.T) {
+	srv, _ := newTestServer(t)
+	const n = 1000
+	queries := make([][]float64, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range queries {
+		queries[i] = []float64{rng.Float64() * 40, rng.Float64() * 100}
+	}
+	for _, kind := range []string{"quadrant", "global", "dynamic"} {
+		body, err := json.Marshal(map[string]interface{}{"kind": kind, "queries": queries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, raw := postJSON(t, srv.URL+"/v1/skyline/batch", string(body))
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: batch status %d: %s", kind, resp.StatusCode, raw)
+		}
+		var br batchResponse
+		if err := json.Unmarshal(raw, &br); err != nil {
+			t.Fatal(err)
+		}
+		if br.Kind != kind || br.Count != n || len(br.Results) != n {
+			t.Fatalf("%s: batch shape kind=%q count=%d results=%d", kind, br.Kind, br.Count, len(br.Results))
+		}
+		// Every batch answer must equal the single-query answer: same
+		// dataset, no writers, so the snapshots are identical. Spot-check a
+		// deterministic sample to keep the test fast over HTTP.
+		for i := 0; i < n; i += 97 {
+			var single skylineResponse
+			url := fmt.Sprintf("%s/v1/skyline?kind=%s&x=%g&y=%g", srv.URL, kind, queries[i][0], queries[i][1])
+			if code := getJSON(t, url, &single); code != 200 {
+				t.Fatalf("%s: single query %d status %d", kind, i, code)
+			}
+			if len(single.IDs) != len(br.Results[i].IDs) {
+				t.Fatalf("%s query %v: batch=%v single=%v", kind, queries[i], br.Results[i].IDs, single.IDs)
+			}
+			for k := range single.IDs {
+				if single.IDs[k] != br.Results[i].IDs[k] {
+					t.Fatalf("%s query %v: batch=%v single=%v", kind, queries[i], br.Results[i].IDs, single.IDs)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchEmptyResultMarshalsAsArray(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// A query in the far corner above all hotels still has a skyline, so use
+	// kind=dynamic with a batch of one far-off query... even that returns
+	// points. Instead assert the ids field is always a JSON array, never
+	// null, by decoding into json.RawMessage.
+	resp, raw := postJSON(t, srv.URL+"/v1/skyline/batch", `{"queries":[[1000,1000]]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var probe struct {
+		Results []struct {
+			IDs json.RawMessage `json:"ids"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.Results) != 1 || string(probe.Results[0].IDs) == "null" {
+		t.Fatalf("ids must be an array, got %s", raw)
+	}
+}
+
+// promLineRe matches a sample line; label values may contain any character
+// (the endpoint label holds route patterns like /v1/points/{id}).
+var promLineRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (-?[0-9].*|NaN|[+-]Inf)$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// Drive traffic: queries, a batch, an error, an insert (snapshot swap).
+	for i := 0; i < 5; i++ {
+		if code := getJSON(t, srv.URL+"/v1/skyline?x=10&y=80", nil); code != 200 {
+			t.Fatalf("query %d: %d", i, code)
+		}
+	}
+	if code := getJSON(t, srv.URL+"/v1/skyline?kind=nope&x=1&y=1", nil); code != 400 {
+		t.Fatal("expected a 400")
+	}
+	resp, _ := postJSON(t, srv.URL+"/v1/skyline/batch", `{"queries":[[10,80],[20,30]]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/points", `{"id":500,"coords":[12.5,82.5]}`)
+	if resp.StatusCode != 201 {
+		t.Fatalf("insert: %d", resp.StatusCode)
+	}
+
+	r, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		`skyserve_http_requests_total{code="200",endpoint="/v1/skyline"} 5`,
+		`skyserve_http_requests_total{code="400",endpoint="/v1/skyline"} 1`,
+		`skyserve_http_requests_total{code="200",endpoint="/v1/skyline/batch"} 1`,
+		`skyserve_http_errors_total{endpoint="/v1/skyline"} 1`,
+		`skyserve_batch_queries_total 2`,
+		`skyserve_snapshot_swaps_total 1`,
+		`skyserve_points 12`,
+		`# TYPE skyserve_http_request_seconds histogram`,
+		`skyserve_http_request_seconds_count{endpoint="/v1/skyline"} 6`,
+		`# TYPE skydiag_build_seconds histogram`,
+		`skydiag_builds_total{kind="global"} 2`, // initial build + insert rebuild
+		`skyserve_cells{kind="quadrant"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics output", want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("full exposition:\n%s", out)
+	}
+
+	// Format validity: every line is a comment or a well-formed sample.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLineRe.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestStatsEnrichment(t *testing.T) {
+	srv, hotels := newTestServer(t)
+	for i := 0; i < 20; i++ {
+		if code := getJSON(t, srv.URL+"/v1/skyline?x=10&y=80", nil); code != 200 {
+			t.Fatal("query failed")
+		}
+	}
+	resp, _ := postJSON(t, srv.URL+"/v1/points", `{"id":600,"coords":[11.5,81.5]}`)
+	if resp.StatusCode != 201 {
+		t.Fatalf("insert: %d", resp.StatusCode)
+	}
+	var stats statsResponse
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Points != len(hotels)+1 {
+		t.Fatalf("points = %d", stats.Points)
+	}
+	if stats.SnapshotSwaps != 1 {
+		t.Fatalf("snapshot_swaps = %d, want 1", stats.SnapshotSwaps)
+	}
+	if stats.RequestsTotal < 21 {
+		t.Fatalf("requests_total = %d, want >= 21", stats.RequestsTotal)
+	}
+	if stats.UptimeSeconds < 0 {
+		t.Fatalf("uptime = %v", stats.UptimeSeconds)
+	}
+	if stats.QueryLatency == nil || stats.QueryLatency.Count != 20 {
+		t.Fatalf("query_latency = %+v, want count 20", stats.QueryLatency)
+	}
+	if stats.QueryLatency.P50Ms <= 0 || stats.QueryLatency.P99Ms < stats.QueryLatency.P50Ms {
+		t.Fatalf("latency percentiles implausible: %+v", stats.QueryLatency)
+	}
+}
+
+// TestHammerConsistency hammers /v1/skyline and /v1/skyline/batch from many
+// goroutines while a writer inserts and deletes points, asserting every
+// response is internally consistent: ids and points agree, ids ascend, every
+// result lies in the query's first quadrant, and no result point dominates
+// another. Any torn snapshot or racy diagram swap would break one of these.
+// Run under -race (the CI does).
+func TestHammerConsistency(t *testing.T) {
+	srv, _ := newTestServer(t)
+	const qx, qy = 10, 80
+	checkResult := func(ids []int32, pts []pointJSON) error {
+		if len(ids) == 0 {
+			return fmt.Errorf("empty skyline result")
+		}
+		if len(ids) != len(pts) {
+			return fmt.Errorf("ids %v and points %v disagree in length", ids, pts)
+		}
+		for i, p := range pts {
+			if ids[i] != int32(p.ID) {
+				return fmt.Errorf("ids[%d]=%d but points[%d].id=%d", i, ids[i], i, p.ID)
+			}
+			if i > 0 && ids[i-1] >= ids[i] {
+				return fmt.Errorf("ids not strictly ascending: %v", ids)
+			}
+			if len(p.Coords) != 2 || p.Coords[0] < qx || p.Coords[1] < qy {
+				return fmt.Errorf("point %d (%v) outside the query quadrant", p.ID, p.Coords)
+			}
+		}
+		for i := range pts {
+			for j := range pts {
+				if i == j {
+					continue
+				}
+				a := geom.Point{ID: pts[i].ID, Coords: pts[i].Coords}
+				b := geom.Point{ID: pts[j].ID, Coords: pts[j].Coords}
+				if geom.Dominates(a, b) {
+					return fmt.Errorf("result not a skyline: %d dominates %d in %v", a.ID, b.ID, pts)
+				}
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var reads atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var resp skylineResponse
+				code := getJSONNoFatal(srv.URL+fmt.Sprintf("/v1/skyline?x=%d&y=%d", qx, qy), &resp)
+				if code != 200 {
+					t.Errorf("reader got %d", code)
+					return
+				}
+				if err := checkResult(resp.IDs, resp.Points); err != nil {
+					t.Errorf("single query: %v", err)
+					return
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+	// A batch reader: every result in one batch must come from ONE snapshot;
+	// identical queries inside a batch must get identical answers even while
+	// the writer swaps snapshots between batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		body := fmt.Sprintf(`{"queries":[[%d,%d],[%d,%d],[%d,%d]]}`, qx, qy, qx, qy, qx, qy)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Post(srv.URL+"/v1/skyline/batch", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var br batchResponse
+			err = json.NewDecoder(resp.Body).Decode(&br)
+			resp.Body.Close()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 1; i < len(br.Results); i++ {
+				if fmt.Sprint(br.Results[i].IDs) != fmt.Sprint(br.Results[0].IDs) {
+					t.Errorf("batch answers diverge within one snapshot: %v vs %v",
+						br.Results[0].IDs, br.Results[i].IDs)
+					return
+				}
+			}
+		}
+	}()
+	// A metrics/stats reader exercises the gauge updates concurrently with
+	// snapshot swaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if code := getJSONNoFatal(srv.URL+"/v1/stats", nil); code != 200 {
+				t.Errorf("stats got %d", code)
+				return
+			}
+			resp, err := http.Get(srv.URL + "/metrics")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+
+	// The writer inserts points inside the query quadrant (changing answers)
+	// and deletes them again.
+	for k := 0; k < 25; k++ {
+		body := fmt.Sprintf(`{"id":%d,"coords":[%g,%g]}`, 2000+k, qx+1.5+float64(k)/7, qy+1.5+float64(k%5)/3)
+		resp, err := http.Post(srv.URL+"/v1/points", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("insert %d: %d", k, resp.StatusCode)
+		}
+		req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/points/%d", srv.URL, 2000+k), nil)
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("delete %d: %d", k, resp.StatusCode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if reads.Load() == 0 {
+		t.Fatal("readers never completed a request")
+	}
+}
+
+// getJSONNoFatal is getJSON without t: safe to call from non-test goroutines.
+func getJSONNoFatal(url string, out interface{}) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return -2
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestBuildMetricsFlowThroughCore checks that the handler's registry
+// receives the build-side instrumentation reported via core.Options.Metrics
+// — the wiring every diagram rebuild on insert/delete relies on.
+func TestBuildMetricsFlowThroughCore(t *testing.T) {
+	h, err := New(dataset.Hotels(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := h.Metrics()
+	if reg == nil {
+		t.Fatal("handler registry missing")
+	}
+	if got := reg.Counter("skydiag_builds_total", "", "kind", "quadrant").Value(); got != 1 {
+		t.Fatalf("quadrant build count = %d, want 1", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `skydiag_build_cells{kind="dynamic"}`) {
+		t.Fatalf("build-side gauges missing:\n%s", sb.String())
+	}
+}
+
+// Compile-time check: the handler's diagrams satisfy the core interface the
+// batch path depends on.
+var _ core.Diagram = (*core.QuadrantDiagram)(nil)

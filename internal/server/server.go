@@ -6,15 +6,36 @@
 // Endpoints:
 //
 //	GET    /healthz                                liveness
-//	GET    /v1/stats                               dataset and diagram sizes
+//	GET    /metrics                                Prometheus text exposition
+//	GET    /v1/stats                               dataset, diagram, and traffic stats
 //	GET    /v1/skyline?kind=quadrant&x=10&y=80     skyline query
+//	POST   /v1/skyline/batch                       many queries, one snapshot
 //	POST   /v1/points   {"id":99,"coords":[13,85]} insert a point
 //	DELETE /v1/points/{id}                         delete a point
 //
-// kind is quadrant (default), global, or dynamic. Responses are JSON:
+// kind is quadrant (default), global, or dynamic, matched case-insensitively;
+// any other value is a 400 with a JSON error body on every path that accepts
+// it. Single-query responses are JSON:
 //
 //	{"kind":"quadrant","query":[10,80],"ids":[3,8,10],
 //	 "points":[{"id":3,"coords":[14,91]}, ...]}
+//
+// The batch endpoint answers up to Config.MaxBatch queries against one
+// consistent snapshot, amortizing the snapshot read lock and the JSON
+// round-trip:
+//
+//	POST /v1/skyline/batch
+//	{"kind":"global","queries":[[10,80],[20,30]]}
+//	-> {"kind":"global","count":2,"results":[{"query":[10,80],"ids":[...]},...]}
+//
+// An empty batch is a 400; one exceeding MaxBatch is a 413. Batch results
+// carry ids only — resolve coordinates client-side or via single queries.
+//
+// Every endpoint is instrumented: request counts by endpoint and status
+// code, latency histograms, error counts, snapshot swap counts, and diagram
+// size gauges are exported at GET /metrics in the Prometheus text format
+// (see docs/OBSERVABILITY.md for the full metric list), and /v1/stats
+// includes latency percentiles computed from the same histograms.
 //
 // Updates use the quadrant diagram's incremental maintenance and swap the
 // served diagrams atomically under a read-write lock, so readers always see
@@ -25,13 +46,18 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/metrics"
 )
 
 // Config controls which diagrams the handler builds.
@@ -39,7 +65,17 @@ type Config struct {
 	// MaxDynamicPoints disables the dynamic diagram (O(n^4) subcells) when
 	// the dataset exceeds it. 0 means the default of 128.
 	MaxDynamicPoints int
+	// MaxBatch caps the number of queries one /v1/skyline/batch call may
+	// carry. 0 means the default of 8192.
+	MaxBatch int
+	// Metrics receives the handler's instrumentation. nil means a fresh
+	// registry, retrievable via Handler.Metrics.
+	Metrics *metrics.Registry
 }
+
+// maxBatchBody bounds the batch request body; 8192 queries of two floats
+// fit comfortably.
+const maxBatchBody = 4 << 20
 
 // state is one immutable snapshot of the served diagrams.
 type state struct {
@@ -53,23 +89,31 @@ type state struct {
 type Handler struct {
 	mux        *http.ServeMux
 	maxDynamic int
+	maxBatch   int
+	start      time.Time
+
+	reg      *metrics.Registry
+	requests *metrics.Counter   // all requests, any endpoint
+	swaps    *metrics.Counter   // snapshot swaps from inserts/deletes
+	queryLat *metrics.Histogram // /v1/skyline latency, for /v1/stats
 
 	mu sync.RWMutex // guards st; writers swap whole snapshots
 	st *state
 }
 
-func buildState(pts []geom.Point, maxDynamic int) (*state, error) {
-	quad, err := core.BuildQuadrant(pts, core.Options{})
+func (h *Handler) buildState(pts []geom.Point) (*state, error) {
+	opts := core.Options{Metrics: h.reg}
+	quad, err := core.BuildQuadrant(pts, opts)
 	if err != nil {
 		return nil, fmt.Errorf("server: build quadrant: %w", err)
 	}
-	glob, err := core.BuildGlobal(pts, core.Options{})
+	glob, err := core.BuildGlobal(pts, opts)
 	if err != nil {
 		return nil, fmt.Errorf("server: build global: %w", err)
 	}
 	st := &state{points: pts, quadrant: quad, global: glob}
-	if len(pts) <= maxDynamic {
-		dyn, err := core.BuildDynamic(pts, core.Options{})
+	if len(pts) <= h.maxDynamic {
+		dyn, err := core.BuildDynamic(pts, opts)
 		if err != nil {
 			return nil, fmt.Errorf("server: build dynamic: %w", err)
 		}
@@ -83,19 +127,63 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 	if cfg.MaxDynamicPoints == 0 {
 		cfg.MaxDynamicPoints = 128
 	}
-	st, err := buildState(pts, cfg.MaxDynamicPoints)
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 8192
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	h := &Handler{
+		maxDynamic: cfg.MaxDynamicPoints,
+		maxBatch:   cfg.MaxBatch,
+		start:      time.Now(),
+		reg:        reg,
+		requests: reg.Counter("skyserve_requests_total",
+			"HTTP requests served, all endpoints."),
+		swaps: reg.Counter("skyserve_snapshot_swaps_total",
+			"Snapshot swaps from successful inserts and deletes."),
+		queryLat: reg.Histogram("skyserve_http_request_seconds",
+			"HTTP request latency in seconds, by endpoint.",
+			"endpoint", "/v1/skyline"),
+	}
+	st, err := h.buildState(pts)
 	if err != nil {
 		return nil, err
 	}
-	h := &Handler{maxDynamic: cfg.MaxDynamicPoints, st: st}
+	h.setState(st)
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", h.handleHealth)
-	mux.HandleFunc("GET /v1/stats", h.handleStats)
-	mux.HandleFunc("GET /v1/skyline", h.handleSkyline)
-	mux.HandleFunc("POST /v1/points", h.handleInsert)
-	mux.HandleFunc("DELETE /v1/points/{id}", h.handleDelete)
+	mux.HandleFunc("GET /healthz", h.instrument("/healthz", h.handleHealth))
+	mux.HandleFunc("GET /metrics", h.instrument("/metrics", h.handleMetrics))
+	mux.HandleFunc("GET /v1/stats", h.instrument("/v1/stats", h.handleStats))
+	mux.HandleFunc("GET /v1/skyline", h.instrument("/v1/skyline", h.handleSkyline))
+	mux.HandleFunc("POST /v1/skyline/batch", h.instrument("/v1/skyline/batch", h.handleBatch))
+	mux.HandleFunc("POST /v1/points", h.instrument("/v1/points", h.handleInsert))
+	mux.HandleFunc("DELETE /v1/points/{id}", h.instrument("/v1/points/{id}", h.handleDelete))
 	h.mux = mux
 	return h, nil
+}
+
+// Metrics returns the handler's registry, for callers that want to merge in
+// their own series or expose it elsewhere.
+func (h *Handler) Metrics() *metrics.Registry { return h.reg }
+
+// setState publishes a new snapshot and refreshes the diagram size gauges.
+// Callers must hold h.mu for writing (or be the constructor).
+func (h *Handler) setState(st *state) {
+	h.st = st
+	h.reg.Gauge("skyserve_points", "Points in the served dataset.").
+		Set(float64(len(st.points)))
+	h.reg.Gauge("skyserve_cells", "Grid cells in the served diagram, by kind.",
+		"kind", "quadrant").Set(float64(st.quadrant.Grid().NumCells()))
+	h.reg.Gauge("skyserve_cells", "Grid cells in the served diagram, by kind.",
+		"kind", "global").Set(float64(st.global.Grid().NumCells()))
+	sub := 0.0
+	if st.dynamic != nil {
+		sub = float64(st.dynamic.SubGrid().NumSubcells())
+	}
+	h.reg.Gauge("skyserve_cells", "Grid cells in the served diagram, by kind.",
+		"kind", "dynamic").Set(sub)
 }
 
 func (h *Handler) snapshot() *state {
@@ -107,8 +195,67 @@ func (h *Handler) snapshot() *state {
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// instrument wraps an endpoint handler with request counting, latency
+// observation, and error counting, labelled by the route pattern (never the
+// raw URL, keeping metric cardinality bounded).
+func (h *Handler) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	lat := h.reg.Histogram("skyserve_http_request_seconds",
+		"HTTP request latency in seconds, by endpoint.", "endpoint", endpoint)
+	errs := h.reg.Counter("skyserve_http_errors_total",
+		"HTTP responses with status >= 400, by endpoint.", "endpoint", endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		fn(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		lat.ObserveDuration(time.Since(start))
+		h.requests.Inc()
+		h.reg.Counter("skyserve_http_requests_total",
+			"HTTP requests, by endpoint and status code.",
+			"endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
+		if sw.code >= 400 {
+			errs.Inc()
+		}
+	}
+}
+
 func (h *Handler) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *Handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	_ = h.reg.WritePrometheus(w)
+}
+
+type latencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
 }
 
 type statsResponse struct {
@@ -117,6 +264,11 @@ type statsResponse struct {
 	Polyominoes    int  `json:"polyominoes"`
 	DynamicEnabled bool `json:"dynamic_enabled"`
 	Subcells       int  `json:"subcells,omitempty"`
+
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	RequestsTotal int64           `json:"requests_total"`
+	SnapshotSwaps int64           `json:"snapshot_swaps"`
+	QueryLatency  *latencySummary `json:"query_latency,omitempty"`
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -131,9 +283,21 @@ func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Cells:          st.Cells,
 		Polyominoes:    st.Polyominoes,
 		DynamicEnabled: snap.dynamic != nil,
+		UptimeSeconds:  time.Since(h.start).Seconds(),
+		RequestsTotal:  h.requests.Value(),
+		SnapshotSwaps:  h.swaps.Value(),
 	}
 	if snap.dynamic != nil {
 		resp.Subcells = snap.dynamic.SubGrid().NumSubcells()
+	}
+	if qs := h.queryLat.Snapshot(); qs.Count > 0 {
+		resp.QueryLatency = &latencySummary{
+			Count:  qs.Count,
+			MeanMs: qs.Mean() * 1e3,
+			P50Ms:  qs.Quantile(0.50) * 1e3,
+			P90Ms:  qs.Quantile(0.90) * 1e3,
+			P99Ms:  qs.Quantile(0.99) * 1e3,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -150,41 +314,161 @@ type skylineResponse struct {
 	Points []pointJSON `json:"points"`
 }
 
-func (h *Handler) handleSkyline(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	kind := q.Get("kind")
+// errDynamicDisabled marks dynamic-kind queries against a dataset too large
+// for the dynamic diagram.
+var errDynamicDisabled = errors.New("dynamic diagram disabled for this dataset size")
+
+// normalizeKind canonicalizes the kind parameter. Every path that accepts a
+// kind goes through here, so an unknown value is always a 400 with a JSON
+// error — never a silent fallthrough.
+func normalizeKind(raw string) (string, error) {
+	kind := strings.ToLower(strings.TrimSpace(raw))
 	if kind == "" {
-		kind = "quadrant"
+		return "quadrant", nil
 	}
-	x, errX := strconv.ParseFloat(q.Get("x"), 64)
-	y, errY := strconv.ParseFloat(q.Get("y"), 64)
-	if errX != nil || errY != nil {
-		writeError(w, http.StatusBadRequest, "x and y must be numbers")
-		return
+	switch kind {
+	case "quadrant", "global", "dynamic":
+		return kind, nil
 	}
-	pt := geom.Pt2(-1, x, y)
-	snap := h.snapshot()
-	var pts []geom.Point
+	return "", fmt.Errorf("unknown kind %q (want quadrant, global, or dynamic)", raw)
+}
+
+// diagramFor selects the diagram answering the (already normalized) kind.
+func (st *state) diagramFor(kind string) (core.Diagram, error) {
 	switch kind {
 	case "quadrant":
-		pts = snap.quadrant.QueryPoints(pt)
+		return st.quadrant, nil
 	case "global":
-		pts = snap.global.QueryPoints(pt)
+		return st.global, nil
 	case "dynamic":
-		if snap.dynamic == nil {
-			writeError(w, http.StatusNotImplemented, "dynamic diagram disabled for this dataset size")
-			return
+		if st.dynamic == nil {
+			return nil, errDynamicDisabled
 		}
-		pts = snap.dynamic.QueryPoints(pt)
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown kind %q", kind))
+		return st.dynamic, nil
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}
+
+func parseCoord(s, name string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s must be a number", name)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%s must be finite", name)
+	}
+	return v, nil
+}
+
+func (h *Handler) handleSkyline(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	kind, err := normalizeKind(q.Get("kind"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	x, errX := parseCoord(q.Get("x"), "x")
+	y, errY := parseCoord(q.Get("y"), "y")
+	if errX != nil || errY != nil {
+		writeError(w, http.StatusBadRequest, "x and y must be finite numbers")
+		return
+	}
+	snap := h.snapshot()
+	d, err := snap.diagramFor(kind)
+	if err != nil {
+		writeError(w, statusForKindErr(err), err.Error())
+		return
+	}
+	pts := d.QueryPoints(geom.Pt2(-1, x, y))
 	resp := skylineResponse{Kind: kind, Query: []float64{x, y}, IDs: make([]int32, 0, len(pts)), Points: make([]pointJSON, 0, len(pts))}
 	for _, p := range pts {
 		resp.IDs = append(resp.IDs, int32(p.ID))
 		resp.Points = append(resp.Points, pointJSON{ID: p.ID, Coords: p.Coords})
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func statusForKindErr(err error) int {
+	if errors.Is(err, errDynamicDisabled) {
+		return http.StatusNotImplemented
+	}
+	return http.StatusBadRequest
+}
+
+type batchRequest struct {
+	Kind    string      `json:"kind"`
+	Queries [][]float64 `json:"queries"`
+}
+
+type batchResult struct {
+	Query []float64 `json:"query"`
+	IDs   []int32   `json:"ids"`
+}
+
+type batchResponse struct {
+	Kind    string        `json:"kind"`
+	Count   int           `json:"count"`
+	Results []batchResult `json:"results"`
+}
+
+// handleBatch answers every query in the request against one snapshot, so a
+// batch observes a single consistent diagram even while writers swap
+// snapshots concurrently.
+func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	kind, err := normalizeKind(req.Kind)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "queries must be non-empty")
+		return
+	}
+	if len(req.Queries) > h.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d queries exceeds the limit of %d", len(req.Queries), h.maxBatch))
+		return
+	}
+	for i, c := range req.Queries {
+		if len(c) != 2 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("query %d has %d coordinates, want 2", i, len(c)))
+			return
+		}
+		if math.IsNaN(c[0]) || math.IsInf(c[0], 0) || math.IsNaN(c[1]) || math.IsInf(c[1], 0) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("query %d has non-finite coordinates", i))
+			return
+		}
+	}
+	snap := h.snapshot()
+	d, err := snap.diagramFor(kind)
+	if err != nil {
+		writeError(w, statusForKindErr(err), err.Error())
+		return
+	}
+	resp := batchResponse{Kind: kind, Count: len(req.Queries), Results: make([]batchResult, len(req.Queries))}
+	for i, c := range req.Queries {
+		ids := d.Query(geom.Pt2(-1, c[0], c[1]))
+		if ids == nil {
+			ids = []int32{}
+		}
+		resp.Results[i] = batchResult{Query: c, IDs: ids}
+	}
+	h.reg.Counter("skyserve_batch_queries_total",
+		"Queries answered through /v1/skyline/batch.").Add(int64(len(req.Queries)))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -217,6 +501,11 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "coords must have exactly 2 values")
 		return
 	}
+	if math.IsNaN(req.Coords[0]) || math.IsInf(req.Coords[0], 0) ||
+		math.IsNaN(req.Coords[1]) || math.IsInf(req.Coords[1], 0) {
+		writeError(w, http.StatusBadRequest, "coords must be finite")
+		return
+	}
 	p := geom.Point{ID: req.ID, Coords: req.Coords}
 
 	h.mu.Lock()
@@ -234,7 +523,8 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	h.st = next
+	h.setState(next)
+	h.swaps.Inc()
 	writeJSON(w, http.StatusCreated, map[string]int{"points": len(pts)})
 }
 
@@ -262,20 +552,22 @@ func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	h.st = next
+	h.setState(next)
+	h.swaps.Inc()
 	writeJSON(w, http.StatusOK, map[string]int{"points": len(pts)})
 }
 
 // rebuildAround assembles the next snapshot: the incrementally maintained
 // quadrant diagram plus freshly built global/dynamic diagrams.
 func (h *Handler) rebuildAround(quad *core.QuadrantDiagram, pts []geom.Point) (*state, error) {
-	glob, err := core.BuildGlobal(pts, core.Options{})
+	opts := core.Options{Metrics: h.reg}
+	glob, err := core.BuildGlobal(pts, opts)
 	if err != nil {
 		return nil, err
 	}
 	next := &state{points: pts, quadrant: quad, global: glob}
 	if len(pts) <= h.maxDynamic {
-		dyn, err := core.BuildDynamic(pts, core.Options{})
+		dyn, err := core.BuildDynamic(pts, opts)
 		if err != nil {
 			return nil, err
 		}

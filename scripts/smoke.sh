@@ -31,5 +31,28 @@ echo "== skybench"
 go run ./cmd/skybench -quick -exp E6 >/dev/null
 go run ./cmd/skybench -quick -exp E1 -plotdir "$tmp/figs" >/dev/null
 test -s "$tmp/figs/E1.svg"
+go run ./cmd/skybench -quick -exp E6 -metricsout "$tmp/build.prom" >/dev/null 2>&1
+grep -q 'skydiag_build_seconds_bucket' "$tmp/build.prom"
+
+echo "== skyserve"
+go build -o "$tmp/skyserve" ./cmd/skyserve
+"$tmp/skyserve" -addr 127.0.0.1:18080 -pprof >/dev/null &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+for i in $(seq 1 50); do
+    curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS 'http://127.0.0.1:18080/v1/skyline?kind=global&x=10&y=80' | grep -q '"ids"'
+curl -fsS -d '{"kind":"quadrant","queries":[[10,80],[20,30]]}' \
+    http://127.0.0.1:18080/v1/skyline/batch | grep -q '"count":2'
+curl -fsS http://127.0.0.1:18080/metrics | grep -q 'skyserve_http_requests_total'
+curl -fsS http://127.0.0.1:18080/v1/stats | grep -q '"uptime_seconds"'
+curl -fsS http://127.0.0.1:18080/debug/pprof/cmdline >/dev/null
+# unknown kind must be a JSON 400, not an empty 200
+code=$(curl -s -o /dev/null -w '%{http_code}' 'http://127.0.0.1:18080/v1/skyline?kind=nope&x=1&y=1')
+test "$code" = "400"
+kill -TERM "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
 
 echo "smoke OK"
