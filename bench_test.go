@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation (reconstructed suite
-// E1–E10, plus the repository-extension experiments E11–E14; see DESIGN.md §5
+// E1–E10, plus the repository-extension experiments E11–E15; see DESIGN.md §5
 // and EXPERIMENTS.md). One benchmark family per
 // table/figure; cmd/skybench prints the same measurements as paper-style
 // tables. Run with:
@@ -12,7 +12,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/dyndiag"
@@ -400,6 +404,66 @@ func BenchmarkE14_MetricsOverhead(b *testing.B) {
 			}
 		})
 	})
+}
+
+// E15: read latency under write churn. Each write rebuilds the global (and
+// for small n, dynamic) diagram; with the non-blocking update path the
+// rebuild happens outside the snapshot lock, so reader percentiles with a
+// writer running should sit close to the writer-free baseline.
+func BenchmarkE15_ReadLatencyUnderWrites(b *testing.B) {
+	pts := experiments.GenQuadrant(dataset.Independent, 2000, benchSeed)
+	for _, writers := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			h, err := server.New(pts, server.Config{Workers: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					base := 1_000_000 + w*10_000
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						id := base + i%32
+						body := fmt.Sprintf(`{"id":%d,"coords":[%g,%g]}`,
+							id, float64((i*13)%800)+0.25, float64((i*29)%800)+0.25)
+						req := httptest.NewRequest("POST", "/v1/points", strings.NewReader(body))
+						h.ServeHTTP(httptest.NewRecorder(), req)
+						req = httptest.NewRequest("DELETE", fmt.Sprintf("/v1/points/%d", id), nil)
+						h.ServeHTTP(httptest.NewRecorder(), req)
+					}
+				}(w)
+			}
+			lats := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				req := httptest.NewRequest("GET",
+					fmt.Sprintf("/v1/skyline?x=%d&y=%d", i%800, (i*37)%800), nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					b.Fatalf("code %d", rec.Code)
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			if len(lats) > 0 {
+				b.ReportMetric(float64(lats[len(lats)/2].Nanoseconds()), "p50-ns")
+				b.ReportMetric(float64(lats[len(lats)*99/100].Nanoseconds()), "p99-ns")
+			}
+		})
+	}
 }
 
 // E12: compact vs flat storage, reported as bytes per representation.

@@ -4,6 +4,13 @@
 //
 //	skyserve -in points.csv -addr :8080 &
 //	skyload  -addr http://localhost:8080 -kind quadrant -c 8 -duration 10s
+//
+// With -writes f, each worker turns fraction f of its operations into
+// inserts and deletes of its own synthetic points (ids from 1000000 up, so
+// they cannot collide with a real dataset), exercising the server's
+// non-blocking update path under concurrent read load. Latency percentiles
+// cover reads and writes alike; points still live when the run ends are
+// deleted on the way out.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/geom"
 )
 
 func main() {
@@ -27,10 +35,15 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "test duration")
 	xmax := flag.Float64("xmax", 35, "queries sample x in [0, xmax)")
 	ymax := flag.Float64("ymax", 110, "queries sample y in [0, ymax)")
+	writes := flag.Float64("writes", 0, "fraction of operations that are inserts/deletes, in [0, 1]")
 	seed := flag.Int64("seed", 1, "query seed")
 	flag.Parse()
 
-	rep, err := run(*addr, *kind, *conc, *duration, *xmax, *ymax, *seed)
+	if *writes < 0 || *writes > 1 {
+		fmt.Fprintln(os.Stderr, "skyload: -writes must be in [0, 1]")
+		os.Exit(1)
+	}
+	rep, err := run(*addr, *kind, *conc, *duration, *xmax, *ymax, *writes, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skyload:", err)
 		os.Exit(1)
@@ -40,20 +53,20 @@ func main() {
 
 // Report summarises one load run.
 type Report struct {
-	Requests, Errors int64
-	Elapsed          time.Duration
-	P50, P95, P99    time.Duration
+	Requests, Writes, Errors int64
+	Elapsed                  time.Duration
+	P50, P95, P99            time.Duration
 }
 
 // Format renders the report.
 func (r Report) Format() string {
 	qps := float64(r.Requests) / r.Elapsed.Seconds()
 	return fmt.Sprintf(
-		"requests: %d  errors: %d  elapsed: %v\nthroughput: %.0f q/s\nlatency p50=%v p95=%v p99=%v\n",
-		r.Requests, r.Errors, r.Elapsed.Round(time.Millisecond), qps, r.P50, r.P95, r.P99)
+		"requests: %d  writes: %d  errors: %d  elapsed: %v\nthroughput: %.0f op/s\nlatency p50=%v p95=%v p99=%v\n",
+		r.Requests, r.Writes, r.Errors, r.Elapsed.Round(time.Millisecond), qps, r.P50, r.P95, r.P99)
 }
 
-func run(addr, kind string, conc int, duration time.Duration, xmax, ymax float64, seed int64) (Report, error) {
+func run(addr, kind string, conc int, duration time.Duration, xmax, ymax, writes float64, seed int64) (Report, error) {
 	c := client.New(addr, client.WithRetries(0))
 	if err := c.Health(context.Background()); err != nil {
 		return Report{}, fmt.Errorf("service not healthy: %w", err)
@@ -61,7 +74,7 @@ func run(addr, kind string, conc int, duration time.Duration, xmax, ymax float64
 	ctx, cancel := context.WithTimeout(context.Background(), duration)
 	defer cancel()
 
-	var requests, errors int64
+	var requests, writesDone, errors int64
 	latencies := make([][]time.Duration, conc)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -70,20 +83,50 @@ func run(addr, kind string, conc int, duration time.Duration, xmax, ymax float64
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)))
+			base := 1_000_000 + w*100_000
+			inserted := 0
+			var live []int
 			for ctx.Err() == nil {
-				x := rng.Float64() * xmax
-				y := rng.Float64() * ymax
 				t0 := time.Now()
-				_, err := c.Skyline(ctx, kind, x, y)
+				var err error
+				isWrite := writes > 0 && rng.Float64() < writes
+				switch {
+				case isWrite && (len(live) == 0 || rng.Intn(2) == 0):
+					id := base + inserted
+					inserted++
+					err = c.Insert(ctx, geom.Pt2(id, rng.Float64()*xmax, rng.Float64()*ymax))
+					if err == nil {
+						live = append(live, id)
+					}
+				case isWrite:
+					k := rng.Intn(len(live))
+					id := live[k]
+					err = c.Delete(ctx, id)
+					if err == nil {
+						live = append(live[:k], live[k+1:]...)
+					}
+				default:
+					_, err = c.Skyline(ctx, kind, rng.Float64()*xmax, rng.Float64()*ymax)
+				}
 				if ctx.Err() != nil {
-					return // deadline hit mid-request: not an error
+					break // deadline hit mid-request: not an error
 				}
 				atomic.AddInt64(&requests, 1)
+				if isWrite {
+					atomic.AddInt64(&writesDone, 1)
+				}
 				if err != nil {
 					atomic.AddInt64(&errors, 1)
 					continue
 				}
 				latencies[w] = append(latencies[w], time.Since(t0))
+			}
+			// Leave the dataset as we found it. Sweep every id this worker
+			// ever allocated, not just the known-live ones: an insert cut
+			// off by the deadline can be applied server-side yet reported
+			// as an error here. Deleting an absent id is a harmless 404.
+			for id := base; id < base+inserted; id++ {
+				_ = c.Delete(context.Background(), id)
 			}
 		}(w)
 	}
@@ -95,7 +138,7 @@ func run(addr, kind string, conc int, duration time.Duration, xmax, ymax float64
 		all = append(all, l...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	rep := Report{Requests: requests, Errors: errors, Elapsed: elapsed}
+	rep := Report{Requests: requests, Writes: writesDone, Errors: errors, Elapsed: elapsed}
 	if len(all) > 0 {
 		rep.P50 = all[len(all)*50/100]
 		rep.P95 = all[min(len(all)*95/100, len(all)-1)]

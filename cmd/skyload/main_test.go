@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -18,7 +20,7 @@ func TestRunAgainstLiveService(t *testing.T) {
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
-	rep, err := run(srv.URL, "quadrant", 2, 300*time.Millisecond, 35, 110, 1)
+	rep, err := run(srv.URL, "quadrant", 2, 300*time.Millisecond, 35, 110, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,8 +41,47 @@ func TestRunAgainstLiveService(t *testing.T) {
 	}
 }
 
+func TestRunWithWriteMix(t *testing.T) {
+	hotels := dataset.Hotels()
+	h, err := server.New(hotels, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	rep, err := run(srv.URL, "quadrant", 2, 500*time.Millisecond, 35, 110, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Writes == 0 {
+		t.Fatal("write mix of 0.5 issued no writes")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors against a healthy service", rep.Errors)
+	}
+	if !strings.Contains(rep.Format(), "writes:") {
+		t.Fatalf("report missing write count:\n%s", rep.Format())
+	}
+	// The load run deletes its synthetic points on exit.
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Points int `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Points != len(hotels) {
+		t.Fatalf("dataset has %d points after the run, want %d", stats.Points, len(hotels))
+	}
+}
+
 func TestRunUnhealthyService(t *testing.T) {
-	if _, err := run("http://127.0.0.1:1", "quadrant", 1, 50*time.Millisecond, 1, 1, 1); err == nil {
+	if _, err := run("http://127.0.0.1:1", "quadrant", 1, 50*time.Millisecond, 1, 1, 0, 1); err == nil {
 		t.Fatal("unreachable service must fail fast")
 	}
 }

@@ -7,6 +7,11 @@
 //
 // Omitting -in serves the paper's 11-hotel running example.
 //
+// Diagram builds — the initial one and every insert/delete rebuild — run
+// with -workers parallel workers (default: all CPUs; 0 forces sequential
+// construction). Inserts and deletes never block queries: readers keep
+// answering from the previous snapshot until the rebuilt one is swapped in.
+//
 // Every API request runs under -request-timeout via http.TimeoutHandler;
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ outside the
 // timeout wrapper (profiles stream for longer than any API deadline). On
@@ -37,6 +42,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxDyn := flag.Int("max-dynamic", 128, "largest dataset for which the dynamic diagram is built")
 	maxBatch := flag.Int("max-batch", 8192, "largest accepted /v1/skyline/batch query count")
+	workers := flag.Int("workers", -1, "parallel diagram construction: -1 all CPUs, 0 sequential, n exactly n workers")
 	reqTimeout := flag.Duration("request-timeout", 15*time.Second, "per-request deadline for API endpoints (0 disables)")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -58,7 +64,7 @@ func main() {
 		pts = loaded
 	}
 
-	h, err := server.New(pts, server.Config{MaxDynamicPoints: *maxDyn, MaxBatch: *maxBatch})
+	h, err := server.New(pts, server.Config{MaxDynamicPoints: *maxDyn, MaxBatch: *maxBatch, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -60,6 +60,12 @@ type Options struct {
 	// (skydiag_build_cells; subcells for the dynamic diagram), each labelled
 	// with kind=quadrant|global|dynamic.
 	Metrics *metrics.Registry
+	// Workers selects parallel construction: 0 (the default) builds
+	// sequentially, a negative value uses GOMAXPROCS workers, and a positive
+	// value uses exactly that many. Parallel builds are output-identical to
+	// sequential ones for every algorithm and diagram kind; algorithms with
+	// no parallel form (quadrant "dsg") silently run sequentially.
+	Workers int
 }
 
 // observeBuild reports one completed diagram build to the optional registry.
@@ -136,7 +142,12 @@ func BuildQuadrant(pts []Point, opts Options) (*QuadrantDiagram, error) {
 		return nil, err
 	}
 	start := time.Now()
-	d, err := quaddiag.Build(pts, alg)
+	var d *quaddiag.Diagram
+	if opts.Workers != 0 {
+		d, err = quaddiag.BuildParallel(pts, alg, opts.Workers)
+	} else {
+		d, err = quaddiag.Build(pts, alg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +202,12 @@ func BuildGlobal(pts []Point, opts Options) (*GlobalDiagram, error) {
 		return nil, err
 	}
 	start := time.Now()
-	d, err := quaddiag.BuildGlobal(pts, alg)
+	var d *quaddiag.GlobalDiagram
+	if opts.Workers != 0 {
+		d, err = quaddiag.BuildGlobalParallel(pts, alg, opts.Workers)
+	} else {
+		d, err = quaddiag.BuildGlobal(pts, alg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +234,13 @@ func (gd *GlobalDiagram) Grid() *grid.Grid { return gd.d.Grid }
 // only sensible for modest n or tight domains, exactly as the paper reports.
 func BuildDynamic(pts []Point, opts Options) (*DynamicDiagram, error) {
 	start := time.Now()
-	d, err := dyndiag.Build(pts, opts.dynamicAlg())
+	var d *dyndiag.Diagram
+	var err error
+	if opts.Workers != 0 {
+		d, err = dyndiag.BuildParallel(pts, opts.dynamicAlg(), opts.Workers)
+	} else {
+		d, err = dyndiag.Build(pts, opts.dynamicAlg())
+	}
 	if err != nil {
 		return nil, err
 	}

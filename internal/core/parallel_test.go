@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// TestParallelBuildsMatchSequential asserts the acceptance criterion for the
+// Workers knob: for every diagram kind, a parallel build answers every query
+// identically to the sequential build — including queries exactly ON grid
+// lines, since both sides share the same half-open boundary convention. The
+// duplicate-heavy integer domain exercises the tie handling of the parallel
+// scanning construction.
+func TestParallelBuildsMatchSequential(t *testing.T) {
+	seeds := []int64{1, 4, 9, 16}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			pts, err := dataset.Generate(dataset.Config{N: 48, Dim: 2, Dist: dataset.AntiCorrelated, Domain: 32, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{-1, 1, 3} {
+				seqQ, err := BuildQuadrant(pts, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				parQ, err := BuildQuadrant(pts, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				seqG, err := BuildGlobal(pts, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				parG, err := BuildGlobal(pts, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				seqD, err := BuildDynamic(pts, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				parD, err := BuildDynamic(pts, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, base := range queryGrid(0, 32, 16) {
+					for _, q := range []geom.Point{base, geom.Pt2(-1, base.X()+0.5, base.Y()+0.5)} {
+						if got, want := sortedIDs32(parQ.Query(q)), sortedIDs32(seqQ.Query(q)); !equalInts(got, want) {
+							t.Fatalf("QUADRANT seed=%d workers=%d q=(%g,%g): parallel=%v sequential=%v",
+								seed, workers, q.X(), q.Y(), got, want)
+						}
+						if got, want := sortedIDs32(parG.Query(q)), sortedIDs32(seqG.Query(q)); !equalInts(got, want) {
+							t.Fatalf("GLOBAL seed=%d workers=%d q=(%g,%g): parallel=%v sequential=%v",
+								seed, workers, q.X(), q.Y(), got, want)
+						}
+						if got, want := sortedIDs32(parD.Query(q)), sortedIDs32(seqD.Query(q)); !equalInts(got, want) {
+							t.Fatalf("DYNAMIC seed=%d workers=%d q=(%g,%g): parallel=%v sequential=%v",
+								seed, workers, q.X(), q.Y(), got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBuildsAllAlgorithms repeats the identity check per explicit
+// algorithm selection, so the Workers dispatch is exercised for every
+// construction name, not just the defaults.
+func TestParallelBuildsAllAlgorithms(t *testing.T) {
+	pts, err := dataset.Generate(dataset.Config{N: 24, Dim: 2, Dist: dataset.Independent, Domain: 24, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := queryGrid(0, 24, 8)
+	for _, alg := range []string{"baseline", "dsg", "scanning"} {
+		seq, err := BuildQuadrant(pts, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := BuildQuadrant(pts, Options{Algorithm: alg, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			if got, want := sortedIDs32(par.Query(q)), sortedIDs32(seq.Query(q)); !equalInts(got, want) {
+				t.Fatalf("quadrant alg=%s q=(%g,%g): parallel=%v sequential=%v", alg, q.X(), q.Y(), got, want)
+			}
+		}
+	}
+	for _, alg := range []string{"baseline", "subset", "scanning"} {
+		seq, err := BuildDynamic(pts, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := BuildDynamic(pts, Options{Algorithm: alg, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			if got, want := sortedIDs32(par.Query(q)), sortedIDs32(seq.Query(q)); !equalInts(got, want) {
+				t.Fatalf("dynamic alg=%s q=(%g,%g): parallel=%v sequential=%v", alg, q.X(), q.Y(), got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestUpdateChainMatchesRebuild chains randomized WithInsert/WithDelete
+// sequences — the serving write path — and after every step compares the
+// incrementally maintained diagram cell-for-cell against a from-scratch
+// build of the same point set. Coordinates are drawn from a small integer
+// domain, so duplicate coordinates and exact-duplicate locations (the tie
+// regime the optimized constructions special-case) occur constantly.
+func TestUpdateChainMatchesRebuild(t *testing.T) {
+	seeds := []int64{3, 17, 29}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	const domain = 10
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			pts := make([]geom.Point, 0, 16)
+			nextID := 0
+			for i := 0; i < 12; i++ {
+				pts = append(pts, geom.Pt2(nextID, float64(rng.Intn(domain)), float64(rng.Intn(domain))))
+				nextID++
+			}
+			cur, err := BuildQuadrant(pts, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 40; step++ {
+				if len(pts) == 0 || rng.Intn(2) == 0 {
+					p := geom.Pt2(nextID, float64(rng.Intn(domain)), float64(rng.Intn(domain)))
+					nextID++
+					cur, err = cur.WithInsert(p)
+					if err != nil {
+						t.Fatalf("seed=%d step=%d insert %v: %v", seed, step, p, err)
+					}
+					pts = append(pts, p)
+				} else {
+					k := rng.Intn(len(pts))
+					id := pts[k].ID
+					cur, err = cur.WithDelete(id)
+					if err != nil {
+						t.Fatalf("seed=%d step=%d delete %d: %v", seed, step, id, err)
+					}
+					pts = append(pts[:k], pts[k+1:]...)
+				}
+				fresh, err := BuildQuadrant(pts, Options{})
+				if err != nil {
+					t.Fatalf("seed=%d step=%d rebuild: %v", seed, step, err)
+				}
+				if !cur.Cells().Equal(fresh.Cells()) {
+					t.Fatalf("CHAIN MISMATCH seed=%d step=%d n=%d: incremental diagram differs from rebuild",
+						seed, step, len(pts))
+				}
+				// Spot-check the query semantics against the oracle too
+				// (off-lattice queries; see differential_test.go for the
+				// boundary convention).
+				q := geom.Pt2(-1, float64(rng.Intn(domain))+0.5, float64(rng.Intn(domain))+0.5)
+				if got, want := sortedIDs32(cur.Query(q)), sortedIDsPts(QuadrantSkyline(pts, q)); !equalInts(got, want) {
+					t.Fatalf("ORACLE MISMATCH seed=%d step=%d q=(%g,%g): diagram=%v oracle=%v",
+						seed, step, q.X(), q.Y(), got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestUpdateChainDuplicateCoordinates forces the hardest tie case: inserts
+// that land exactly on existing points' locations, then deletes that peel
+// coincident twins apart one at a time.
+func TestUpdateChainDuplicateCoordinates(t *testing.T) {
+	base := []geom.Point{
+		geom.Pt2(0, 2, 8), geom.Pt2(1, 5, 5), geom.Pt2(2, 8, 2),
+	}
+	cur, err := BuildQuadrant(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := append([]geom.Point(nil), base...)
+	// Pile exact duplicates onto every base location.
+	for i, b := range base {
+		p := geom.Pt2(10+i, b.X(), b.Y())
+		cur, err = cur.WithInsert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, p)
+		fresh, err := BuildQuadrant(pts, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cur.Cells().Equal(fresh.Cells()) {
+			t.Fatalf("after duplicating %v: incremental differs from rebuild", b)
+		}
+	}
+	// Peel the originals off again.
+	for _, b := range base {
+		cur, err = cur.WithDelete(b.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, p := range pts {
+			if p.ID == b.ID {
+				pts = append(pts[:k], pts[k+1:]...)
+				break
+			}
+		}
+		fresh, err := BuildQuadrant(pts, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cur.Cells().Equal(fresh.Cells()) {
+			t.Fatalf("after deleting %d: incremental differs from rebuild", b.ID)
+		}
+	}
+}

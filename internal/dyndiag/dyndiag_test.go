@@ -254,3 +254,27 @@ func TestBuildScanningParallelMatchesSerial(t *testing.T) {
 		t.Fatal("3-D input must fail")
 	}
 }
+
+func TestBuildParallelDispatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	pts := genPts(rng, 10, 16)
+	for _, alg := range []Algorithm{AlgBaseline, AlgSubset, AlgScanning} {
+		serial, err := Build(pts, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := BuildParallel(pts, alg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !serial.Equal(par) {
+			t.Fatalf("alg=%s: BuildParallel differs from Build", alg)
+		}
+	}
+	if _, err := BuildParallel(pts, Algorithm("nope"), 4); err == nil {
+		t.Fatal("unknown algorithm must propagate")
+	}
+	if _, err := BuildBaselineParallel([]geom.Point{geom.Pt(0, 1, 2, 3)}, 2); err == nil {
+		t.Fatal("3-D input must fail")
+	}
+}

@@ -37,11 +37,15 @@
 // (see docs/OBSERVABILITY.md for the full metric list), and /v1/stats
 // includes latency percentiles computed from the same histograms.
 //
-// Updates use the quadrant diagram's incremental maintenance and swap the
-// served diagrams atomically under a read-write lock, so readers always see
-// a consistent snapshot. The global and dynamic diagrams are rebuilt on
-// update (no incremental form exists for them); datasets beyond the dynamic
-// threshold keep dynamic queries disabled.
+// Updates never block readers: the next snapshot is computed entirely
+// outside the read-write lock (the quadrant diagram updates incrementally;
+// the global and dynamic diagrams are rebuilt concurrently, optionally with
+// parallel constructions via Config.Workers), writers are serialized by a
+// dedicated update mutex so no two derive from the same base, and the
+// read-write lock is taken only for the pointer swap. Readers therefore
+// always see a consistent snapshot and wait at most one pointer assignment,
+// even while a multi-second rebuild is in flight. Datasets beyond the
+// dynamic threshold keep dynamic queries disabled.
 package server
 
 import (
@@ -68,14 +72,32 @@ type Config struct {
 	// MaxBatch caps the number of queries one /v1/skyline/batch call may
 	// carry. 0 means the default of 8192.
 	MaxBatch int
+	// Workers selects parallel diagram construction for the initial build
+	// and every rebuild, as core.Options.Workers: 0 builds sequentially,
+	// negative uses GOMAXPROCS, positive uses exactly that many.
+	Workers int
 	// Metrics receives the handler's instrumentation. nil means a fresh
 	// registry, retrievable via Handler.Metrics.
 	Metrics *metrics.Registry
 }
 
-// maxBatchBody bounds the batch request body; 8192 queries of two floats
-// fit comfortably.
-const maxBatchBody = 4 << 20
+// Batch body sizing: the cap scales with MaxBatch so a server configured
+// for large batches does not 413 legitimate requests, with a floor that
+// comfortably fits the default 8192 queries. maxBatchQueryBytes is a
+// generous bound on one JSON-encoded query: two full-precision floats
+// ("-2.2250738585072014e-308") plus brackets and commas.
+const (
+	minBatchBody       = 4 << 20
+	maxBatchQueryBytes = 64
+)
+
+func batchBodyLimit(maxBatch int) int64 {
+	limit := int64(maxBatch)*maxBatchQueryBytes + 4096
+	if limit < minBatchBody {
+		return minBatchBody
+	}
+	return limit
+}
 
 // state is one immutable snapshot of the served diagrams.
 type state struct {
@@ -87,22 +109,41 @@ type state struct {
 
 // Handler serves skyline queries for one dataset.
 type Handler struct {
-	mux        *http.ServeMux
-	maxDynamic int
-	maxBatch   int
-	start      time.Time
+	mux          *http.ServeMux
+	maxDynamic   int
+	maxBatch     int
+	maxBatchBody int64
+	workers      int
+	start        time.Time
 
-	reg      *metrics.Registry
-	requests *metrics.Counter   // all requests, any endpoint
-	swaps    *metrics.Counter   // snapshot swaps from inserts/deletes
-	queryLat *metrics.Histogram // /v1/skyline latency, for /v1/stats
+	reg         *metrics.Registry
+	requests    *metrics.Counter   // all requests, any endpoint
+	swaps       *metrics.Counter   // snapshot swaps from inserts/deletes
+	queryLat    *metrics.Histogram // /v1/skyline latency, for /v1/stats
+	queueDepth  *metrics.Gauge     // writers queued or applying
+	updateStart *metrics.Gauge     // unix start of the in-flight update, 0 when idle
+	rebuildLat  *metrics.Histogram // whole-update rebuild latency (kind=total)
 
-	mu sync.RWMutex // guards st; writers swap whole snapshots
+	// updateMu serializes writers: each derives its snapshot from the one
+	// published by the previous writer, entirely outside mu, so concurrent
+	// writers cannot both derive from the same base and readers never wait
+	// on a rebuild.
+	updateMu sync.Mutex
+	// rebuildHook, when non-nil, runs inside the update critical section
+	// after the base snapshot is read and before the rebuild — a test seam
+	// for making rebuilds artificially slow without touching the build code.
+	rebuildHook func()
+
+	mu sync.RWMutex // guards st; held only for pointer reads and swaps
 	st *state
 }
 
+// errRebuildFailed marks an update that failed while rebuilding diagrams
+// (as opposed to a rejected derivation, e.g. a duplicate or unknown id).
+var errRebuildFailed = errors.New("rebuild failed")
+
 func (h *Handler) buildState(pts []geom.Point) (*state, error) {
-	opts := core.Options{Metrics: h.reg}
+	opts := core.Options{Metrics: h.reg, Workers: h.workers}
 	quad, err := core.BuildQuadrant(pts, opts)
 	if err != nil {
 		return nil, fmt.Errorf("server: build quadrant: %w", err)
@@ -135,10 +176,12 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 		reg = metrics.NewRegistry()
 	}
 	h := &Handler{
-		maxDynamic: cfg.MaxDynamicPoints,
-		maxBatch:   cfg.MaxBatch,
-		start:      time.Now(),
-		reg:        reg,
+		maxDynamic:   cfg.MaxDynamicPoints,
+		maxBatch:     cfg.MaxBatch,
+		maxBatchBody: batchBodyLimit(cfg.MaxBatch),
+		workers:      cfg.Workers,
+		start:        time.Now(),
+		reg:          reg,
 		requests: reg.Counter("skyserve_requests_total",
 			"HTTP requests served, all endpoints."),
 		swaps: reg.Counter("skyserve_snapshot_swaps_total",
@@ -146,6 +189,13 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 		queryLat: reg.Histogram("skyserve_http_request_seconds",
 			"HTTP request latency in seconds, by endpoint.",
 			"endpoint", "/v1/skyline"),
+		queueDepth: reg.Gauge("skyserve_update_queue_depth",
+			"Writers queued for or applying an insert/delete."),
+		updateStart: reg.Gauge("skyserve_update_started_timestamp_seconds",
+			"Unix time the in-flight update began; 0 when idle. Stall detection: alert when non-zero and now minus this is large."),
+		rebuildLat: reg.Histogram("skyserve_rebuild_seconds",
+			"Update rebuild duration in seconds, by diagram kind (total = whole update).",
+			"kind", "total"),
 	}
 	st, err := h.buildState(pts)
 	if err != nil {
@@ -269,6 +319,10 @@ type statsResponse struct {
 	RequestsTotal int64           `json:"requests_total"`
 	SnapshotSwaps int64           `json:"snapshot_swaps"`
 	QueryLatency  *latencySummary `json:"query_latency,omitempty"`
+
+	UpdateQueueDepth int             `json:"update_queue_depth"`
+	UpdateInFlight   bool            `json:"update_in_flight"`
+	RebuildLatency   *latencySummary `json:"rebuild_latency,omitempty"`
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -297,6 +351,17 @@ func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
 			P50Ms:  qs.Quantile(0.50) * 1e3,
 			P90Ms:  qs.Quantile(0.90) * 1e3,
 			P99Ms:  qs.Quantile(0.99) * 1e3,
+		}
+	}
+	resp.UpdateQueueDepth = int(h.queueDepth.Value())
+	resp.UpdateInFlight = h.updateStart.Value() > 0
+	if rs := h.rebuildLat.Snapshot(); rs.Count > 0 {
+		resp.RebuildLatency = &latencySummary{
+			Count:  rs.Count,
+			MeanMs: rs.Mean() * 1e3,
+			P50Ms:  rs.Quantile(0.50) * 1e3,
+			P90Ms:  rs.Quantile(0.90) * 1e3,
+			P99Ms:  rs.Quantile(0.99) * 1e3,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -415,7 +480,7 @@ type batchResponse struct {
 // batch observes a single consistent diagram even while writers swap
 // snapshots concurrently.
 func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	r.Body = http.MaxBytesReader(w, r.Body, h.maxBatchBody)
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
@@ -508,24 +573,22 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	p := geom.Point{ID: req.ID, Coords: req.Coords}
 
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	// The quadrant diagram updates incrementally; global and dynamic are
-	// rebuilt over the new point set.
-	quad, err := h.st.quadrant.WithInsert(p)
+	n, err := h.applyUpdate(func(base *state) (*core.QuadrantDiagram, []geom.Point, error) {
+		quad, err := base.quadrant.WithInsert(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return quad, append(append([]geom.Point(nil), base.points...), p), nil
+	})
 	if err != nil {
-		writeError(w, http.StatusConflict, err.Error())
+		if errors.Is(err, errRebuildFailed) {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		} else {
+			writeError(w, http.StatusConflict, err.Error())
+		}
 		return
 	}
-	pts := append(append([]geom.Point(nil), h.st.points...), p)
-	next, err := h.rebuildAround(quad, pts)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	h.setState(next)
-	h.swaps.Inc()
-	writeJSON(w, http.StatusCreated, map[string]int{"points": len(pts)})
+	writeJSON(w, http.StatusCreated, map[string]int{"points": n})
 }
 
 func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -534,44 +597,106 @@ func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid id")
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	quad, err := h.st.quadrant.WithDelete(id)
+	n, err := h.applyUpdate(func(base *state) (*core.QuadrantDiagram, []geom.Point, error) {
+		quad, err := base.quadrant.WithDelete(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		pts := make([]geom.Point, 0, len(base.points))
+		for _, p := range base.points {
+			if p.ID != id {
+				pts = append(pts, p)
+			}
+		}
+		return quad, pts, nil
+	})
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		if errors.Is(err, errRebuildFailed) {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		} else {
+			writeError(w, http.StatusNotFound, err.Error())
+		}
 		return
 	}
-	pts := make([]geom.Point, 0, len(h.st.points))
-	for _, p := range h.st.points {
-		if p.ID != id {
-			pts = append(pts, p)
-		}
+	writeJSON(w, http.StatusOK, map[string]int{"points": n})
+}
+
+// applyUpdate runs one insert/delete end to end without ever blocking
+// readers: derive computes the incrementally maintained quadrant diagram and
+// the new point set from the base snapshot, the global/dynamic diagrams are
+// rebuilt concurrently, and only the final pointer swap takes the snapshot
+// lock. updateMu serializes writers so each derives from the snapshot the
+// previous writer published. A derive error is returned as-is (the caller
+// maps it to 409/404); rebuild errors are wrapped in errRebuildFailed.
+func (h *Handler) applyUpdate(derive func(base *state) (*core.QuadrantDiagram, []geom.Point, error)) (int, error) {
+	h.queueDepth.Add(1)
+	defer h.queueDepth.Add(-1)
+	h.updateMu.Lock()
+	defer h.updateMu.Unlock()
+	h.updateStart.Set(float64(time.Now().UnixNano()) / 1e9)
+	defer h.updateStart.Set(0)
+
+	start := time.Now()
+	base := h.snapshot()
+	t0 := time.Now()
+	quad, pts, err := derive(base)
+	if err != nil {
+		return 0, err
+	}
+	h.reg.Histogram("skyserve_rebuild_seconds",
+		"Update rebuild duration in seconds, by diagram kind (total = whole update).",
+		"kind", "quadrant").ObserveDuration(time.Since(t0))
+	if h.rebuildHook != nil {
+		h.rebuildHook()
 	}
 	next, err := h.rebuildAround(quad, pts)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
+		return 0, fmt.Errorf("%w: %v", errRebuildFailed, err)
 	}
+	h.mu.Lock()
 	h.setState(next)
+	h.mu.Unlock()
 	h.swaps.Inc()
-	writeJSON(w, http.StatusOK, map[string]int{"points": len(pts)})
+	h.rebuildLat.ObserveDuration(time.Since(start))
+	return len(pts), nil
 }
 
 // rebuildAround assembles the next snapshot: the incrementally maintained
-// quadrant diagram plus freshly built global/dynamic diagrams.
+// quadrant diagram plus freshly built global/dynamic diagrams, the two
+// rebuilds running concurrently (the dynamic diagram is the expensive one;
+// the global rebuild hides entirely behind it).
 func (h *Handler) rebuildAround(quad *core.QuadrantDiagram, pts []geom.Point) (*state, error) {
-	opts := core.Options{Metrics: h.reg}
-	glob, err := core.BuildGlobal(pts, opts)
-	if err != nil {
-		return nil, err
-	}
-	next := &state{points: pts, quadrant: quad, global: glob}
+	opts := core.Options{Metrics: h.reg, Workers: h.workers}
+	next := &state{points: pts, quadrant: quad}
+
+	var wg sync.WaitGroup
+	var globErr, dynErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t0 := time.Now()
+		next.global, globErr = core.BuildGlobal(pts, opts)
+		h.reg.Histogram("skyserve_rebuild_seconds",
+			"Update rebuild duration in seconds, by diagram kind (total = whole update).",
+			"kind", "global").ObserveDuration(time.Since(t0))
+	}()
 	if len(pts) <= h.maxDynamic {
-		dyn, err := core.BuildDynamic(pts, opts)
-		if err != nil {
-			return nil, err
-		}
-		next.dynamic = dyn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			next.dynamic, dynErr = core.BuildDynamic(pts, opts)
+			h.reg.Histogram("skyserve_rebuild_seconds",
+				"Update rebuild duration in seconds, by diagram kind (total = whole update).",
+				"kind", "dynamic").ObserveDuration(time.Since(t0))
+		}()
+	}
+	wg.Wait()
+	if globErr != nil {
+		return nil, globErr
+	}
+	if dynErr != nil {
+		return nil, dynErr
 	}
 	return next, nil
 }

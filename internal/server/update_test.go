@@ -1,0 +1,186 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// TestReadersNotBlockedDuringRebuild is the acceptance test for the
+// non-blocking write path: an insert is parked mid-update via the rebuild
+// hook (after the base snapshot is derived, before the global/dynamic
+// rebuilds), and while it is parked every read endpoint must answer from the
+// old snapshot. Under the previous design — rebuild under the snapshot write
+// lock — every one of these reads would deadlock until the hook released.
+func TestReadersNotBlockedDuringRebuild(t *testing.T) {
+	h, err := New(dataset.Hotels(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h.rebuildHook = func() {
+		close(entered)
+		<-release
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	insDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/points", "application/json",
+			strings.NewReader(`{"id":99,"coords":[13,85]}`))
+		if err != nil {
+			insDone <- err
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			insDone <- fmt.Errorf("insert code %d", resp.StatusCode)
+			return
+		}
+		insDone <- nil
+	}()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("insert never reached the rebuild stage")
+	}
+
+	// The update is now parked indefinitely; if readers shared its lock,
+	// every request below would hang until the test timed out.
+	var sky skylineResponse
+	if code := getJSON(t, srv.URL+"/v1/skyline?x=10&y=80", &sky); code != 200 {
+		t.Fatalf("query during rebuild: code %d", code)
+	}
+	if len(sky.IDs) != 3 {
+		t.Fatalf("query during rebuild saw %v, want the pre-insert snapshot of 3 ids", sky.IDs)
+	}
+	resp, err := http.Post(srv.URL+"/v1/skyline/batch", "application/json",
+		strings.NewReader(`{"kind":"global","queries":[[10,80],[20,30]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch during rebuild: code %d", resp.StatusCode)
+	}
+	var stats statsResponse
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats during rebuild: code %d", code)
+	}
+	if !stats.UpdateInFlight {
+		t.Fatal("stats during rebuild: update_in_flight = false, want true")
+	}
+	if stats.UpdateQueueDepth < 1 {
+		t.Fatalf("stats during rebuild: update_queue_depth = %d, want >= 1", stats.UpdateQueueDepth)
+	}
+	if stats.SnapshotSwaps != 0 {
+		t.Fatalf("snapshot swapped before the rebuild finished (swaps=%d)", stats.SnapshotSwaps)
+	}
+	if h.updateStart.Value() <= 0 {
+		t.Fatal("stall gauge is zero while an update is in flight")
+	}
+	// A reader that raced ahead still sees the old snapshot: the swap is
+	// strictly after the rebuild completes.
+	select {
+	case err := <-insDone:
+		t.Fatalf("insert finished while parked: %v", err)
+	default:
+	}
+
+	close(release)
+	if err := <-insDone; err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, srv.URL+"/v1/skyline?x=10&y=80", &sky); code != 200 {
+		t.Fatalf("query after rebuild: code %d", code)
+	}
+	if len(sky.IDs) != 2 || sky.IDs[0] != 8 || sky.IDs[1] != 99 {
+		t.Fatalf("after insert ids = %v, want [8 99]", sky.IDs)
+	}
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats after rebuild: code %d", code)
+	}
+	if stats.SnapshotSwaps != 1 || stats.UpdateInFlight || stats.UpdateQueueDepth != 0 {
+		t.Fatalf("stats after rebuild: swaps=%d in_flight=%v depth=%d, want 1/false/0",
+			stats.SnapshotSwaps, stats.UpdateInFlight, stats.UpdateQueueDepth)
+	}
+	if stats.RebuildLatency == nil || stats.RebuildLatency.Count != 1 {
+		t.Fatalf("rebuild_latency = %+v, want one observation", stats.RebuildLatency)
+	}
+	if h.updateStart.Value() != 0 {
+		t.Fatal("stall gauge not reset after the update completed")
+	}
+}
+
+// TestBatchBodyLimitBoundaries pins the body-cap derivation: the default
+// MaxBatch stays on the 4 MiB floor, and a larger MaxBatch raises the cap
+// proportionally instead of 413-ing legitimate requests.
+func TestBatchBodyLimitBoundaries(t *testing.T) {
+	cases := []struct {
+		maxBatch int
+		want     int64
+	}{
+		{8192, minBatchBody},  // default: well under the floor
+		{65536, minBatchBody}, // 65536*64+4096 = 4 MiB + 4096... see below
+		{1 << 20, int64(1<<20)*maxBatchQueryBytes + 4096},
+	}
+	// 65536 queries * 64 bytes = exactly 4 MiB, so +4096 crosses the floor.
+	cases[1].want = int64(65536)*maxBatchQueryBytes + 4096
+	for _, c := range cases {
+		if got := batchBodyLimit(c.maxBatch); got != c.want {
+			t.Errorf("batchBodyLimit(%d) = %d, want %d", c.maxBatch, got, c.want)
+		}
+	}
+	if batchBodyLimit(1) != minBatchBody {
+		t.Error("tiny MaxBatch must keep the floor")
+	}
+}
+
+// TestBatchBodyCapScalesWithMaxBatch sends the same >4 MiB body to a server
+// configured for large batches (accepted) and to a default one (413 at the
+// old fixed cap).
+func TestBatchBodyCapScalesWithMaxBatch(t *testing.T) {
+	pts := dataset.Hotels()
+	const n = 700_000 // ~5.6 MiB of "[10,80]," — past the 4 MiB floor
+	var sb strings.Builder
+	sb.Grow(n*8 + 64)
+	sb.WriteString(`{"kind":"quadrant","queries":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`[10,80]`)
+	}
+	sb.WriteString(`]}`)
+	body := sb.String()
+	if int64(len(body)) <= minBatchBody {
+		t.Fatalf("test body only %d bytes, need > %d", len(body), minBatchBody)
+	}
+
+	big, err := New(pts, Config{MaxBatch: 1 << 20, MaxDynamicPoints: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	big.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/skyline/batch", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("large-MaxBatch server rejected a %d-byte body: code %d", len(body), rec.Code)
+	}
+
+	def, err := New(pts, Config{MaxDynamicPoints: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	def.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/skyline/batch", strings.NewReader(body)))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("default server accepted a %d-byte body: code %d", len(body), rec.Code)
+	}
+}

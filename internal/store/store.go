@@ -205,8 +205,17 @@ type Store struct {
 	xs, ys     []float64
 	points     []geom.Point
 
-	mu    sync.Mutex
-	cache *pageCache
+	mu      sync.Mutex
+	cache   *pageCache
+	loading map[int]*pageLoad // per-page singleflight for cache misses
+}
+
+// pageLoad is one in-flight page read; concurrent readers of the same page
+// wait on done instead of issuing a duplicate disk read.
+type pageLoad struct {
+	done chan struct{}
+	page []byte
+	err  error
 }
 
 type pageMeta struct {
@@ -231,8 +240,29 @@ func Open(path string) (*Store, error) {
 }
 
 // New builds a Store over any ReaderAt (a file, an mmap, a byte slice via
-// bytes.NewReader).
+// bytes.NewReader). When the reader can report its size — os.File via Stat,
+// bytes.Reader and strings.Reader via Size — the header's declared point and
+// page counts are validated against it before any buffer is allocated, so a
+// corrupt or malicious header fails fast instead of triggering a multi-GB
+// allocation. For readers of unknown size, use NewSized with an explicit
+// hint to get the same protection.
 func New(r io.ReaderAt, cacheSize int) (*Store, error) {
+	size := int64(-1)
+	switch sr := r.(type) {
+	case interface{ Stat() (os.FileInfo, error) }:
+		if fi, err := sr.Stat(); err == nil {
+			size = fi.Size()
+		}
+	case interface{ Size() int64 }:
+		size = sr.Size()
+	}
+	return NewSized(r, cacheSize, size)
+}
+
+// NewSized is New with an explicit reader size in bytes, bounding every
+// header-derived allocation. size < 0 means unknown (no size validation
+// beyond the structural header checks).
+func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 	var hdr [headerSize]byte
 	if _, err := r.ReadAt(hdr[:], 0); err != nil {
 		return nil, fmt.Errorf("store: read header: %w", err)
@@ -254,23 +284,54 @@ func New(r io.ReaderAt, cacheSize int) (*Store, error) {
 	if s.kind != kindQuadrant && s.kind != kindDynamic {
 		return nil, fmt.Errorf("store: unknown diagram kind %d", s.kind)
 	}
-	numPoints := int(be.Uint64(hdr[16:]))
+	numPoints64 := be.Uint64(hdr[16:])
 	cpp := int(be.Uint32(hdr[32:]))
 	if cpp != CellsPerPage {
 		return nil, fmt.Errorf("store: page shape %d not supported (want %d)", cpp, CellsPerPage)
 	}
-	s.numPages = int(be.Uint64(hdr[36:]))
+	numPages64 := be.Uint64(hdr[36:])
 	indexOffset := int64(be.Uint64(hdr[44:]))
 	if s.cols <= 0 || s.rows <= 0 || s.dim != 2 {
 		return nil, fmt.Errorf("store: corrupt header: cols=%d rows=%d dim=%d", s.cols, s.rows, s.dim)
 	}
-	wantPages := (s.cols*s.rows + CellsPerPage - 1) / CellsPerPage
-	if s.numPages != wantPages {
-		return nil, fmt.Errorf("store: header claims %d pages for %d cells", s.numPages, s.cols*s.rows)
+	// Bound every header-declared count BEFORE sizing a buffer from it: a
+	// corrupt header must fail cheaply, not allocate multi-GB slices that
+	// only a later CRC or grid check would reject.
+	if int64(s.cols)*int64(s.rows) > math.MaxInt32 {
+		return nil, fmt.Errorf("store: corrupt header: %dx%d cells", s.cols, s.rows)
 	}
+	wantPages := (s.cols*s.rows + CellsPerPage - 1) / CellsPerPage
+	if numPages64 != uint64(wantPages) {
+		return nil, fmt.Errorf("store: header claims %d pages for %d cells", numPages64, s.cols*s.rows)
+	}
+	s.numPages = wantPages
+	recordSize := int64(8 + 8*s.dim)
+	if numPoints64 > uint64((math.MaxInt64-headerSize)/recordSize) {
+		return nil, fmt.Errorf("store: corrupt header: %d points", numPoints64)
+	}
+	pointsBytes := int64(numPoints64) * recordSize
+	// The writer lays the index immediately after the points, so the two
+	// header fields must agree — a cheap structural check that catches a
+	// corrupted point count even when the reader size is unknown.
+	if indexOffset != headerSize+pointsBytes {
+		return nil, fmt.Errorf("store: header claims %d points but index offset %d (want %d)",
+			numPoints64, indexOffset, headerSize+pointsBytes)
+	}
+	if size >= 0 {
+		if headerSize+pointsBytes > size {
+			return nil, fmt.Errorf("store: header claims %d points (%d bytes) but reader holds %d bytes",
+				numPoints64, pointsBytes, size)
+		}
+		indexBytes := int64(s.numPages) * indexEntrySz
+		if indexOffset < headerSize || indexOffset > size-indexBytes {
+			return nil, fmt.Errorf("store: header claims a %d-byte page index at offset %d but reader holds %d bytes",
+				indexBytes, indexOffset, size)
+		}
+	}
+	numPoints := int(numPoints64)
 
 	// Points.
-	ptsBuf := make([]byte, numPoints*(8+8*s.dim))
+	ptsBuf := make([]byte, pointsBytes)
 	if _, err := r.ReadAt(ptsBuf, headerSize); err != nil {
 		return nil, fmt.Errorf("store: read points: %w", err)
 	}
@@ -323,10 +384,19 @@ func New(r io.ReaderAt, cacheSize int) (*Store, error) {
 			crc:    be.Uint32(e[12:]),
 		}
 	}
+	if size >= 0 {
+		for pg, meta := range s.pageIndex {
+			if meta.off > uint64(size) || uint64(meta.length) > uint64(size)-meta.off {
+				return nil, fmt.Errorf("store: page %d (%d bytes at offset %d) overruns the %d-byte reader",
+					pg, meta.length, meta.off, size)
+			}
+		}
+	}
 	if cacheSize <= 0 {
 		cacheSize = DefaultCacheSize
 	}
 	s.cache = newPageCache(cacheSize)
+	s.loading = make(map[int]*pageLoad)
 	return s, nil
 }
 
@@ -379,12 +449,40 @@ func (s *Store) Cell(i, j int) ([]int32, error) {
 	return ids, nil
 }
 
+// page returns the decoded page, loading it on a cache miss. The store
+// mutex covers only cache bookkeeping: the disk read and CRC verification
+// run outside it, so readers of distinct pages proceed concurrently, and a
+// per-page singleflight ensures concurrent readers of the SAME page share
+// one disk read instead of duplicating it.
 func (s *Store) page(pg int) ([]byte, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if b, ok := s.cache.get(pg); ok {
+		s.mu.Unlock()
 		return b, nil
 	}
+	if l, ok := s.loading[pg]; ok {
+		s.mu.Unlock()
+		<-l.done
+		return l.page, l.err
+	}
+	l := &pageLoad{done: make(chan struct{})}
+	s.loading[pg] = l
+	s.mu.Unlock()
+
+	l.page, l.err = s.loadPage(pg)
+
+	s.mu.Lock()
+	if l.err == nil {
+		s.cache.put(pg, l.page)
+	}
+	delete(s.loading, pg)
+	s.mu.Unlock()
+	close(l.done)
+	return l.page, l.err
+}
+
+// loadPage reads and CRC-verifies one page from the underlying reader.
+func (s *Store) loadPage(pg int) ([]byte, error) {
 	meta := s.pageIndex[pg]
 	buf := make([]byte, meta.length)
 	if _, err := s.r.ReadAt(buf, int64(meta.off)); err != nil {
@@ -393,7 +491,6 @@ func (s *Store) page(pg int) ([]byte, error) {
 	if got := crc32.ChecksumIEEE(buf); got != meta.crc {
 		return nil, fmt.Errorf("store: page %d checksum mismatch (file corrupt)", pg)
 	}
-	s.cache.put(pg, buf)
 	return buf, nil
 }
 

@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"path/filepath"
 	"sync"
@@ -304,5 +306,120 @@ func TestQueryBatchMatchesSingles(t *testing.T) {
 	}
 	if _, err := s.QueryBatch(nil); err != nil {
 		t.Fatal("empty batch must succeed")
+	}
+}
+
+func TestCorruptHeaderCountsRejectedBeforeAllocation(t *testing.T) {
+	d := buildDiagram(t, 30, 9)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	be := binary.BigEndian
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), raw...)
+		mutate(b)
+		return b
+	}
+
+	// A header claiming 2^40 points would allocate ~24 TB before PR 2; it
+	// must instead be rejected against the reader size before any buffer is
+	// sized from it. (If this regresses, the test OOMs rather than failing
+	// politely — that is the point.)
+	huge := corrupt(func(b []byte) { be.PutUint64(b[16:], 1<<40) })
+	if _, err := New(bytes.NewReader(huge), 4); err == nil {
+		t.Fatal("huge numPoints must fail")
+	}
+	// Overflow-adjacent count, no size hint: still rejected structurally.
+	if _, err := NewSized(bytes.NewReader(huge), 4, -1); err == nil {
+		t.Fatal("huge numPoints must fail even without a size hint")
+	}
+
+	// Huge cols/rows imply a huge page index; reject before allocating it.
+	hugeGrid := corrupt(func(b []byte) {
+		be.PutUint32(b[24:], 1<<20)
+		be.PutUint32(b[28:], 1<<20)
+		be.PutUint64(b[36:], (1<<40+CellsPerPage-1)/CellsPerPage)
+	})
+	if _, err := New(bytes.NewReader(hugeGrid), 4); err == nil {
+		t.Fatal("huge grid must fail")
+	}
+
+	// Page count inconsistent with cols*rows.
+	badPages := corrupt(func(b []byte) { be.PutUint64(b[36:], 1<<30) })
+	if _, err := New(bytes.NewReader(badPages), 4); err == nil {
+		t.Fatal("inconsistent page count must fail")
+	}
+
+	// Index offset pointing past the end of the reader.
+	badIndex := corrupt(func(b []byte) { be.PutUint64(b[44:], uint64(len(raw))) })
+	if _, err := New(bytes.NewReader(badIndex), 4); err == nil {
+		t.Fatal("out-of-range index offset must fail")
+	}
+
+	// The unmodified file still opens, with and without a size hint.
+	if _, err := New(bytes.NewReader(raw), 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSized(bytes.NewReader(raw), 4, int64(len(raw))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDistinctPages hammers a cold, deliberately tiny cache from
+// many goroutines so cache misses on distinct pages overlap: with the
+// narrowed critical section the loads run concurrently, and the per-page
+// singleflight keeps same-page readers sharing one disk read. Run under
+// -race (as CI does) this asserts the new locking is clean.
+func TestConcurrentDistinctPages(t *testing.T) {
+	d := buildDiagram(t, 80, 10) // 81x81 grid: ~26 pages
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(bytes.NewReader(buf.Bytes()), 2) // thrashing cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := s.NumCells()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 300; k++ {
+				cell := rng.Intn(cells)
+				i, j := cell/s.rows, cell%s.rows
+				got, err := s.Cell(i, j)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := d.Cell(i, j)
+				if len(got) != len(want) {
+					errs <- fmt.Errorf("cell (%d,%d): got %v want %v", i, j, got, want)
+					return
+				}
+				for x := range want {
+					if got[x] != want[x] {
+						errs <- fmt.Errorf("cell (%d,%d): got %v want %v", i, j, got, want)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	hits, misses := s.CacheStats()
+	if hits+misses == 0 {
+		t.Fatal("cache stats not recorded")
 	}
 }

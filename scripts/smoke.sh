@@ -36,7 +36,7 @@ grep -q 'skydiag_build_seconds_bucket' "$tmp/build.prom"
 
 echo "== skyserve"
 go build -o "$tmp/skyserve" ./cmd/skyserve
-"$tmp/skyserve" -addr 127.0.0.1:18080 -pprof >/dev/null &
+"$tmp/skyserve" -addr 127.0.0.1:18080 -pprof -workers 2 >/dev/null &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
 for i in $(seq 1 50); do
@@ -52,6 +52,19 @@ curl -fsS http://127.0.0.1:18080/debug/pprof/cmdline >/dev/null
 # unknown kind must be a JSON 400, not an empty 200
 code=$(curl -s -o /dev/null -w '%{http_code}' 'http://127.0.0.1:18080/v1/skyline?kind=nope&x=1&y=1')
 test "$code" = "400"
+
+echo "== skyload (insert/delete under read load)"
+go run ./cmd/skyload -addr http://127.0.0.1:18080 -c 4 -duration 2s -writes 0.25 \
+    | tee "$tmp/load.txt" | grep -q 'throughput'
+# the write mix must actually have exercised the update path...
+grep -Eq 'writes: [1-9]' "$tmp/load.txt"
+grep -q 'errors: 0' "$tmp/load.txt"
+# ...and left its telemetry behind
+curl -fsS http://127.0.0.1:18080/metrics | grep -q 'skyserve_rebuild_seconds'
+curl -fsS http://127.0.0.1:18080/metrics | grep -q 'skyserve_update_queue_depth'
+curl -fsS http://127.0.0.1:18080/v1/stats | grep -q '"update_queue_depth"'
+# skyload deletes its synthetic points on exit: the dataset is back to 11
+curl -fsS http://127.0.0.1:18080/v1/stats | grep -q '"points":11'
 kill -TERM "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 
