@@ -15,9 +15,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
@@ -51,19 +53,34 @@ func main() {
 	fmt.Print(rep.Format())
 }
 
-// Report summarises one load run.
+// Report summarises one load run. Shed counts requests the server rejected
+// under overload protection (429/503 + Retry-After) — deliberate back-pressure,
+// reported separately from Errors, which are real failures. Retries and
+// BreakerOpens surface the client's own resilience machinery.
 type Report struct {
-	Requests, Writes, Errors int64
-	Elapsed                  time.Duration
-	P50, P95, P99            time.Duration
+	Requests, Writes, Errors   int64
+	Shed, Retries, BreakerOpen int64
+	Elapsed                    time.Duration
+	P50, P95, P99              time.Duration
 }
 
 // Format renders the report.
 func (r Report) Format() string {
 	qps := float64(r.Requests) / r.Elapsed.Seconds()
 	return fmt.Sprintf(
-		"requests: %d  writes: %d  errors: %d  elapsed: %v\nthroughput: %.0f op/s\nlatency p50=%v p95=%v p99=%v\n",
-		r.Requests, r.Writes, r.Errors, r.Elapsed.Round(time.Millisecond), qps, r.P50, r.P95, r.P99)
+		"requests: %d  writes: %d  errors: %d  shed: %d  retries: %d  breaker-opens: %d  elapsed: %v\nthroughput: %.0f op/s\nlatency p50=%v p95=%v p99=%v\n",
+		r.Requests, r.Writes, r.Errors, r.Shed, r.Retries, r.BreakerOpen,
+		r.Elapsed.Round(time.Millisecond), qps, r.P50, r.P95, r.P99)
+}
+
+// isShed reports whether err is the server saying "not now": a 429, or a 503
+// from a shed update. Those are overload protection working as designed, not
+// service failures.
+func isShed(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) &&
+		(apiErr.StatusCode == http.StatusTooManyRequests ||
+			apiErr.StatusCode == http.StatusServiceUnavailable)
 }
 
 func run(addr, kind string, conc int, duration time.Duration, xmax, ymax, writes float64, seed int64) (Report, error) {
@@ -74,7 +91,7 @@ func run(addr, kind string, conc int, duration time.Duration, xmax, ymax, writes
 	ctx, cancel := context.WithTimeout(context.Background(), duration)
 	defer cancel()
 
-	var requests, writesDone, errors int64
+	var requests, writesDone, errCount, shedCount int64
 	latencies := make([][]time.Duration, conc)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -116,7 +133,11 @@ func run(addr, kind string, conc int, duration time.Duration, xmax, ymax, writes
 					atomic.AddInt64(&writesDone, 1)
 				}
 				if err != nil {
-					atomic.AddInt64(&errors, 1)
+					if isShed(err) {
+						atomic.AddInt64(&shedCount, 1)
+					} else {
+						atomic.AddInt64(&errCount, 1)
+					}
 					continue
 				}
 				latencies[w] = append(latencies[w], time.Since(t0))
@@ -138,7 +159,12 @@ func run(addr, kind string, conc int, duration time.Duration, xmax, ymax, writes
 		all = append(all, l...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	rep := Report{Requests: requests, Writes: writesDone, Errors: errors, Elapsed: elapsed}
+	ctr := c.Counters()
+	rep := Report{
+		Requests: requests, Writes: writesDone, Errors: errCount,
+		Shed: shedCount, Retries: ctr.Retries, BreakerOpen: ctr.BreakerOpens,
+		Elapsed: elapsed,
+	}
 	if len(all) > 0 {
 		rep.P50 = all[len(all)*50/100]
 		rep.P95 = all[min(len(all)*95/100, len(all)-1)]

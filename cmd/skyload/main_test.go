@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/server"
 )
 
@@ -83,5 +84,35 @@ func TestRunWithWriteMix(t *testing.T) {
 func TestRunUnhealthyService(t *testing.T) {
 	if _, err := run("http://127.0.0.1:1", "quadrant", 1, 50*time.Millisecond, 1, 1, 0, 1); err == nil {
 		t.Fatal("unreachable service must fail fast")
+	}
+}
+
+// TestRunCountsShedSeparately floods a one-slot server with slow injected
+// queries: the 429s it sheds must land in the report's shed column, not in
+// errors — back-pressure is the server working, not failing.
+func TestRunCountsShedSeparately(t *testing.T) {
+	defer faultinject.Deactivate()
+	if err := faultinject.Activate("server.query=latency:20ms"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := server.New(dataset.Hotels(), server.Config{MaxInFlight: 1, MaxQueue: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	rep, err := run(srv.URL, "quadrant", 8, 300*time.Millisecond, 35, 110, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("one-slot server shed nothing: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("sheds misreported as errors: %+v", rep)
+	}
+	if !strings.Contains(rep.Format(), "shed:") {
+		t.Fatalf("report missing shed count:\n%s", rep.Format())
 	}
 }

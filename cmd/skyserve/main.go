@@ -17,6 +17,12 @@
 // timeout wrapper (profiles stream for longer than any API deadline). On
 // SIGINT/SIGTERM the server drains in-flight requests for up to
 // -shutdown-grace before exiting. See docs/OBSERVABILITY.md.
+//
+// Overload protection is tuned with -max-inflight, -max-queue, and
+// -update-wait: excess traffic is shed with 429/503 + Retry-After while
+// /healthz, /v1/health, and /metrics keep answering. -faults (or the
+// SKYFAULTS environment variable) activates the fault-injection registry
+// for chaos drills — never in production. See docs/RELIABILITY.md.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/server"
 )
@@ -46,7 +53,22 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 15*time.Second, "per-request deadline for API endpoints (0 disables)")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight,
+		"concurrently executing requests on limited endpoints (-1 disables the limiter)")
+	maxQueue := flag.Int("max-queue", server.DefaultMaxQueue,
+		"requests allowed to wait for a slot before shedding with 429 (-1: shed immediately at max-inflight)")
+	updateWait := flag.Duration("update-wait", server.DefaultUpdateWait,
+		"how long an insert/delete may wait for the writer slot before a 503 shed (-1 waits forever)")
+	faults := flag.String("faults", os.Getenv(faultinject.EnvVar),
+		"fault-injection spec, e.g. 'store.ReadAt=error@0.01;server.query=latency:5ms' (default: $"+faultinject.EnvVar+"; testing only)")
 	flag.Parse()
+
+	if *faults != "" {
+		if err := faultinject.Activate(*faults); err != nil {
+			log.Fatalf("skyserve: -faults: %v", err)
+		}
+		log.Printf("skyserve: FAULT INJECTION ACTIVE: %s", *faults)
+	}
 
 	var pts []geom.Point
 	if *in == "" {
@@ -64,7 +86,14 @@ func main() {
 		pts = loaded
 	}
 
-	h, err := server.New(pts, server.Config{MaxDynamicPoints: *maxDyn, MaxBatch: *maxBatch, Workers: *workers})
+	h, err := server.New(pts, server.Config{
+		MaxDynamicPoints: *maxDyn,
+		MaxBatch:         *maxBatch,
+		Workers:          *workers,
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		UpdateWait:       *updateWait,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,28 +1,68 @@
 // Package client is the Go client for the skyline query service
-// (internal/server): typed wrappers over the HTTP JSON API with
-// context support, bounded retries on transient failures, and error
-// values that surface the server's message.
+// (internal/server): typed wrappers over the HTTP JSON API with context
+// support, bounded retries with jittered exponential backoff, Retry-After
+// handling for shed requests, and a circuit breaker that stops hammering a
+// service that is consistently failing.
+//
+// Retry rules are idempotency-aware. GETs retry on any network error, any
+// 5xx, and shed (429/503) responses. POST and DELETE retry only when the
+// request provably never reached the application: a connect-level (dial)
+// failure, or a 429/503 shed response carrying Retry-After — the server
+// sheds strictly before applying state, so those are safe to resend. A plain
+// 5xx on a write is surfaced immediately rather than risking a double apply.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
 )
 
-// Client talks to one skyline query service.
+// ErrBreakerOpen is returned without issuing a request while the circuit
+// breaker is open: the service failed DefaultBreakerThreshold consecutive
+// times and the cooldown has not elapsed.
+var ErrBreakerOpen = errors.New("skyline client: circuit breaker open")
+
+// Defaults for the resilience knobs.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = time.Second
+	DefaultMaxBackoff       = 2 * time.Second
+)
+
+// Client talks to one skyline query service. It is safe for concurrent use.
 type Client struct {
-	base    string
-	httpc   *http.Client
-	retries int
-	backoff time.Duration
+	base       string
+	httpc      *http.Client
+	retries    int
+	backoff    time.Duration
+	maxBackoff time.Duration
+
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	mu          sync.Mutex
+	consecFails int
+	open        bool
+	openUntil   time.Time
+	probing     bool
+
+	nRetries      atomic.Int64
+	nShed         atomic.Int64
+	nBreakerOpens atomic.Int64
 }
 
 // Option configures a Client.
@@ -31,25 +71,61 @@ type Option func(*Client)
 // WithHTTPClient substitutes the underlying *http.Client.
 func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
 
-// WithRetries sets how many times a transient failure (network error or
-// 5xx) is retried. Default 2.
+// WithRetries sets how many times a retryable failure is retried. Default 2.
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
-// WithBackoff sets the delay between retries. Default 50ms.
+// WithBackoff sets the base delay between retries; each retry doubles it
+// (plus up to 50% jitter) up to the max backoff. Default 50ms.
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithMaxBackoff caps the exponential backoff. Default 2s.
+func WithMaxBackoff(d time.Duration) Option { return func(c *Client) { c.maxBackoff = d } }
+
+// WithBreaker tunes the circuit breaker: after threshold consecutive
+// failures (5xx or network errors — shed responses do not count) the
+// breaker opens and requests fail fast with ErrBreakerOpen until cooldown
+// elapses, when a single half-open probe is let through. threshold <= 0
+// disables the breaker. Defaults: threshold 5, cooldown 1s.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) {
+		c.breakerThreshold = threshold
+		if cooldown > 0 {
+			c.breakerCooldown = cooldown
+		}
+	}
+}
 
 // New creates a client for the service at base (e.g. "http://localhost:8080").
 func New(base string, opts ...Option) *Client {
 	c := &Client{
-		base:    strings.TrimRight(base, "/"),
-		httpc:   &http.Client{Timeout: 10 * time.Second},
-		retries: 2,
-		backoff: 50 * time.Millisecond,
+		base:             strings.TrimRight(base, "/"),
+		httpc:            &http.Client{Timeout: 10 * time.Second},
+		retries:          2,
+		backoff:          50 * time.Millisecond,
+		maxBackoff:       DefaultMaxBackoff,
+		breakerThreshold: DefaultBreakerThreshold,
+		breakerCooldown:  DefaultBreakerCooldown,
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// Counters are cumulative resilience statistics for one Client.
+type Counters struct {
+	Retries      int64 // re-attempts issued after a retryable failure
+	Shed         int64 // 429 / Retry-After 503 responses received
+	BreakerOpens int64 // times the circuit breaker (re)opened
+}
+
+// Counters returns a snapshot of the client's resilience counters.
+func (c *Client) Counters() Counters {
+	return Counters{
+		Retries:      c.nRetries.Load(),
+		Shed:         c.nShed.Load(),
+		BreakerOpens: c.nBreakerOpens.Load(),
+	}
 }
 
 // APIError is a non-2xx response from the service.
@@ -124,19 +200,21 @@ func (c *Client) getJSON(ctx context.Context, path string, out interface{}) erro
 	return c.do(ctx, http.MethodGet, path, nil, out)
 }
 
-// do issues the request with retries on network errors and 5xx responses.
-// Non-idempotent verbs (POST) are retried only on network errors that
-// happened before any byte was written — conservatively approximated here by
-// not retrying POST on 5xx.
+// do issues the request under the retry policy described in the package
+// comment, consulting the circuit breaker before every attempt.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	idempotent := method == http.MethodGet
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(c.backoff):
+		if err := c.breakerAllow(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("skyline service: %s %s: %w (last error: %v)",
+					method, path, err, lastErr)
 			}
+			return fmt.Errorf("skyline service: %s %s: %w", method, path, err)
+		}
+		if attempt > 0 {
+			c.nRetries.Add(1)
 		}
 		var rd io.Reader
 		if body != nil {
@@ -151,31 +229,195 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out i
 		}
 		resp, err := c.httpc.Do(req)
 		if err != nil {
+			c.breakerRecord(false)
 			lastErr = err
-			continue // transient network error: retry
+			if ctx.Err() != nil {
+				return fmt.Errorf("skyline service: %s %s: %w", method, path, err)
+			}
+			if !idempotent && !isConnectError(err) {
+				// The write may have reached the server; resending could
+				// apply it twice.
+				return fmt.Errorf("skyline service: %s %s: %w", method, path, err)
+			}
+			if attempt < c.retries {
+				if err := c.sleep(ctx, c.delay(attempt)); err != nil {
+					return err
+				}
+			}
+			continue
 		}
 		data, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
+			c.breakerRecord(false)
 			lastErr = err
+			if !idempotent {
+				return fmt.Errorf("skyline service: %s %s: %w", method, path, err)
+			}
+			if attempt < c.retries {
+				if err := c.sleep(ctx, c.delay(attempt)); err != nil {
+					return err
+				}
+			}
 			continue
 		}
-		if resp.StatusCode >= 500 && method == http.MethodGet {
-			lastErr = &APIError{StatusCode: resp.StatusCode, Message: errMessage(data)}
-			continue // retry idempotent reads on server errors
-		}
-		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-			return &APIError{StatusCode: resp.StatusCode, Message: errMessage(data)}
-		}
-		if out != nil {
-			if err := json.Unmarshal(data, out); err != nil {
-				return fmt.Errorf("skyline service: decode %s: %w", path, err)
+
+		sc := resp.StatusCode
+		retryAfter, hasRetryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+		shed := sc == http.StatusTooManyRequests ||
+			(sc == http.StatusServiceUnavailable && hasRetryAfter)
+		switch {
+		case shed:
+			// A deliberate shed: the server is alive and protecting itself,
+			// and it sheds before touching state, so even writes are safe to
+			// resend. Not a breaker failure.
+			c.nShed.Add(1)
+			c.breakerRecord(true)
+			lastErr = &APIError{StatusCode: sc, Message: errMessage(data)}
+			if !idempotent && !hasRetryAfter {
+				return lastErr
 			}
+			if attempt < c.retries {
+				wait := retryAfter
+				if wait <= 0 {
+					wait = c.delay(attempt)
+				}
+				if err := c.sleep(ctx, wait); err != nil {
+					return err
+				}
+			}
+		case sc >= 500:
+			c.breakerRecord(false)
+			lastErr = &APIError{StatusCode: sc, Message: errMessage(data)}
+			if !idempotent {
+				return lastErr
+			}
+			if attempt < c.retries {
+				if err := c.sleep(ctx, c.delay(attempt)); err != nil {
+					return err
+				}
+			}
+		case sc < 200 || sc >= 300:
+			c.breakerRecord(true)
+			return &APIError{StatusCode: sc, Message: errMessage(data)}
+		default:
+			c.breakerRecord(true)
+			if out != nil {
+				if err := json.Unmarshal(data, out); err != nil {
+					return fmt.Errorf("skyline service: decode %s: %w", path, err)
+				}
+			}
+			return nil
 		}
-		return nil
 	}
 	return fmt.Errorf("skyline service: %s %s failed after %d attempts: %w",
 		method, path, c.retries+1, lastErr)
+}
+
+// breakerAllow gates an attempt on the circuit breaker: open and cooling
+// down fails fast, open past cooldown admits exactly one half-open probe.
+func (c *Client) breakerAllow() error {
+	if c.breakerThreshold <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.open {
+		return nil
+	}
+	if time.Now().Before(c.openUntil) || c.probing {
+		return ErrBreakerOpen
+	}
+	c.probing = true
+	return nil
+}
+
+// breakerRecord feeds an attempt's outcome to the breaker. Any success
+// closes it; a failure while open (a failed probe) or the threshold-th
+// consecutive failure (re)opens it for another cooldown.
+func (c *Client) breakerRecord(ok bool) {
+	if c.breakerThreshold <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ok {
+		c.open = false
+		c.probing = false
+		c.consecFails = 0
+		return
+	}
+	c.consecFails++
+	if c.open || c.consecFails >= c.breakerThreshold {
+		c.open = true
+		c.probing = false
+		c.openUntil = time.Now().Add(c.breakerCooldown)
+		c.nBreakerOpens.Add(1)
+	}
+}
+
+// delay computes the backoff before re-attempt number attempt+1:
+// exponential from the base with up to 50% added jitter, capped.
+func (c *Client) delay(attempt int) time.Duration {
+	d := c.backoff
+	for i := 0; i < attempt && d < c.maxBackoff; i++ {
+		d *= 2
+	}
+	if c.maxBackoff > 0 && d > c.maxBackoff {
+		d = c.maxBackoff
+	}
+	return time.Duration(float64(d) * (1 + 0.5*rand.Float64()))
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// isConnectError reports whether err happened while dialing, before any
+// byte of the request could have been delivered — the only class of network
+// error where resending a non-idempotent request cannot double-apply it.
+func isConnectError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// parseRetryAfter parses a Retry-After header as either delay-seconds or an
+// HTTP date. The bool reports whether the header carried a usable value;
+// the duration may be zero ("retry immediately"). Waits are capped at 5s so
+// a confused server cannot stall the client arbitrarily.
+func parseRetryAfter(h string) (time.Duration, bool) {
+	const maxWait = 5 * time.Second
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d > maxWait {
+			d = maxWait
+		}
+		return d, true
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		if d > maxWait {
+			d = maxWait
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 func errMessage(data []byte) string {

@@ -1,0 +1,215 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func reset(t testing.TB) {
+	t.Helper()
+	Deactivate()
+	t.Cleanup(Deactivate)
+}
+
+func TestDisabledIsNil(t *testing.T) {
+	reset(t)
+	if Enabled() {
+		t.Fatal("enabled with no spec")
+	}
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("disabled hit returned %v", err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	reset(t)
+	if err := Activate("a.b=error:disk on fire"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("not enabled after Activate")
+	}
+	err := Hit("a.b")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "disk on fire") || !strings.Contains(err.Error(), "a.b") {
+		t.Fatalf("message lost: %v", err)
+	}
+	if err := Hit("other.site"); err != nil {
+		t.Fatalf("unconfigured site returned %v", err)
+	}
+	if Hits("a.b") != 1 || Hits("other.site") != 0 {
+		t.Fatalf("hits = %d/%d", Hits("a.b"), Hits("other.site"))
+	}
+}
+
+func TestCountBudget(t *testing.T) {
+	reset(t)
+	if err := Activate("s=error#2"); err != nil {
+		t.Fatal(err)
+	}
+	if Hit("s") == nil || Hit("s") == nil {
+		t.Fatal("first two hits must fire")
+	}
+	if err := Hit("s"); err != nil {
+		t.Fatalf("budget exhausted but still fired: %v", err)
+	}
+	if Hits("s") != 2 {
+		t.Fatalf("hits = %d, want 2", Hits("s"))
+	}
+}
+
+func TestLatencyMode(t *testing.T) {
+	reset(t)
+	if err := Activate("slow=latency:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatalf("latency mode returned %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("slept only %v", d)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	reset(t)
+	if err := Activate("boom=panic:kapow"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic mode did not panic")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "kapow") {
+			t.Fatalf("panic value %v", p)
+		}
+	}()
+	_ = Hit("boom")
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	reset(t)
+	fires := func(seed int64) int64 {
+		Seed(seed)
+		if err := Activate("p=error@0.3"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			_ = Hit("p")
+		}
+		return Hits("p")
+	}
+	a, b := fires(42), fires(42)
+	if a != b {
+		t.Fatalf("same seed, different fire counts: %d vs %d", a, b)
+	}
+	// ~300 expected; anything in (100, 600) proves the draw is real.
+	if a < 100 || a > 600 {
+		t.Fatalf("p=0.3 fired %d/1000 times", a)
+	}
+	if c := fires(43); c == a {
+		t.Fatalf("different seeds produced identical sequences (%d)", c)
+	}
+}
+
+func TestMultiSiteSpec(t *testing.T) {
+	reset(t)
+	err := Activate("a=error; b=latency:1ms@0.5#3 ; c=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Sites()
+	if len(got) != 3 {
+		t.Fatalf("sites = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	reset(t)
+	for _, bad := range []string{
+		"noequals",
+		"=error",
+		"s=wiggle",
+		"s=latency",      // missing duration
+		"s=latency:nope", // bad duration
+		"s=error@2",      // probability out of range
+		"s=error@zero",   // not a number
+		"s=error#0",      // non-positive count
+		"s=error#many",   // not a number
+	} {
+		if err := Activate(bad); err == nil {
+			t.Errorf("spec %q parsed", bad)
+		}
+	}
+	if Enabled() {
+		t.Fatal("failed Activate must not enable injection")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	reset(t)
+	t.Setenv(EnvVar, "env.site=error#1")
+	if err := FromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(Hit("env.site"), ErrInjected) {
+		t.Fatal("env-activated site did not fire")
+	}
+	Deactivate()
+	t.Setenv(EnvVar, "")
+	if err := FromEnv(); err != nil || Enabled() {
+		t.Fatalf("empty env: err=%v enabled=%v", err, Enabled())
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	reset(t)
+	if err := Activate("c=error@0.5"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = Hit("c")
+				_ = Hit("unconfigured")
+			}
+		}()
+	}
+	wg.Wait()
+	if h := Hits("c"); h == 0 || h == 4000 {
+		t.Fatalf("hits = %d, want a strict subset of 4000", h)
+	}
+}
+
+// BenchmarkHitDisabled pins the zero-cost claim: with no spec active a site
+// is one atomic load (sub-nanosecond on current hardware), so failpoints can
+// live in hot paths like page reads without showing up in E13/E15.
+func BenchmarkHitDisabled(b *testing.B) {
+	reset(b)
+	for i := 0; i < b.N; i++ {
+		if err := Hit("bench.site"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHitEnabledOtherSite(b *testing.B) {
+	reset(b)
+	if err := Activate("some.other.site=error"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Hit("bench.site")
+	}
+}

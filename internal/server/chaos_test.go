@@ -1,0 +1,482 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+	"repro/internal/geom"
+)
+
+// mutuallyNonDominating is the chaos-suite consistency invariant: a skyline
+// result set, from any snapshot at any moment, must contain no point that
+// dominates another member. It holds across concurrent inserts and deletes
+// because every response is answered from one immutable snapshot.
+func mutuallyNonDominating(pts []pointJSON) bool {
+	for i := range pts {
+		for j := range pts {
+			if i != j && geom.DominatesCoords(pts[i].Coords, pts[j].Coords) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// captureLog redirects the standard logger into a buffer for the duration of
+// the test, so assertions can inspect exactly what the server logged.
+func captureLog(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	log.SetOutput(&buf)
+	t.Cleanup(func() { log.SetOutput(os.Stderr) })
+	return &buf
+}
+
+// metricValue digs one un-labelled counter/gauge value out of a Prometheus
+// text exposition.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition", name)
+	return 0
+}
+
+// TestChaosRandomFaultHammer runs concurrent readers and writers against a
+// server with probabilistic faults injected into the query and update paths,
+// under the race detector. Every response must be one of the sanctioned
+// statuses, every 200 must carry a mutually non-dominating skyline, and once
+// the faults are cleared the server must serve normally — no wedged writer
+// slot, no poisoned snapshot.
+func TestChaosRandomFaultHammer(t *testing.T) {
+	defer faultinject.Deactivate()
+	faultinject.Seed(42)
+	if err := faultinject.Activate(
+		"server.query=error:chaos@0.15;" +
+			"server.update.rebuild=error:chaos@0.25;" +
+			"server.update.derive=latency:2ms@0.5"); err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := newTestServer(t)
+
+	var badStatus, badSkyline atomic.Int64
+	var wg sync.WaitGroup
+	for reader := 0; reader < 8; reader++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				x := float64((seed*7 + i*13) % 100)
+				y := float64((seed*11 + i*17) % 100)
+				resp, err := http.Get(fmt.Sprintf("%s/v1/skyline?kind=quadrant&x=%g&y=%g", srv.URL, x, y))
+				if err != nil {
+					badStatus.Add(1)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var res skylineResponse
+					if json.Unmarshal(body, &res) != nil || !mutuallyNonDominating(res.Points) {
+						badSkyline.Add(1)
+					}
+				case http.StatusInternalServerError,
+					http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					// Injected fault or overload shed: sanctioned failures.
+				default:
+					badStatus.Add(1)
+				}
+			}
+		}(reader)
+	}
+	for writer := 0; writer < 2; writer++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				id := 500000 + seed*1000 + i
+				body := fmt.Sprintf(`{"id":%d,"coords":[%d,%d]}`, id, 150+i, 150+seed)
+				resp, err := http.Post(srv.URL+"/v1/points", "application/json", strings.NewReader(body))
+				if err != nil {
+					badStatus.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusCreated, http.StatusInternalServerError,
+					http.StatusServiceUnavailable, http.StatusConflict:
+					// Applied, injected rebuild failure, shed, or duplicate
+					// from a half-failed earlier round.
+				default:
+					badStatus.Add(1)
+				}
+				req, _ := http.NewRequest(http.MethodDelete,
+					fmt.Sprintf("%s/v1/points/%d", srv.URL, id), nil)
+				resp, err = http.DefaultClient.Do(req)
+				if err != nil {
+					badStatus.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusInternalServerError,
+					http.StatusServiceUnavailable, http.StatusNotFound:
+				default:
+					badStatus.Add(1)
+				}
+			}
+		}(writer)
+	}
+	wg.Wait()
+	if n := badStatus.Load(); n != 0 {
+		t.Fatalf("%d responses outside the sanctioned status set", n)
+	}
+	if n := badSkyline.Load(); n != 0 {
+		t.Fatalf("%d skyline responses violated mutual non-domination", n)
+	}
+
+	// Faults off: the server must be fully healthy, not wedged or poisoned.
+	faultinject.Deactivate()
+	if code := getJSON(t, srv.URL+"/v1/health", nil); code != http.StatusOK {
+		t.Fatalf("health after chaos = %d", code)
+	}
+	var res skylineResponse
+	if code := getJSON(t, srv.URL+"/v1/skyline?kind=quadrant&x=10&y=80", &res); code != http.StatusOK {
+		t.Fatalf("query after chaos = %d", code)
+	}
+	if len(res.IDs) == 0 || !mutuallyNonDominating(res.Points) {
+		t.Fatalf("post-chaos skyline corrupt: %+v", res)
+	}
+}
+
+// TestChaosOverloadFloodShedsCleanly floods a deliberately tiny server
+// (2 slots, 2 queued) with slow injected queries. The only permissible
+// failure is a 429 with Retry-After; liveness must stay green throughout;
+// and the shed counter must account for the rejections.
+func TestChaosOverloadFloodShedsCleanly(t *testing.T) {
+	defer faultinject.Deactivate()
+	if err := faultinject.Activate("server.query=latency:25ms"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(dataset.Hotels(), Config{MaxInFlight: 2, MaxQueue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var ok, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 20; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				resp, err := http.Get(srv.URL + "/v1/skyline?kind=quadrant&x=10&y=80")
+				if err != nil {
+					other.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						other.Add(1)
+					} else {
+						shed.Add(1)
+					}
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+	// While the flood runs, liveness must answer immediately — the whole
+	// point of keeping /v1/health outside the limiter.
+	healthDeadline := time.Now().Add(2 * time.Second)
+	for probe := 0; probe < 5; probe++ {
+		start := time.Now()
+		resp, err := http.Get(srv.URL + "/v1/health")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("liveness during overload: %v / %v", err, resp)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if time.Since(start) > time.Second || time.Now().After(healthDeadline) {
+			t.Fatal("liveness probe stalled behind the overload")
+		}
+	}
+	wg.Wait()
+
+	if other.Load() != 0 {
+		t.Fatalf("%d responses were neither 200 nor a proper 429 shed", other.Load())
+	}
+	if ok.Load() == 0 || shed.Load() == 0 {
+		t.Fatalf("flood did not both serve and shed: ok=%d shed=%d", ok.Load(), shed.Load())
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if v := metricValue(t, string(body), "skyserve_shed_total"); int64(v) != shed.Load() {
+		t.Fatalf("skyserve_shed_total = %g, clients saw %d sheds", v, shed.Load())
+	}
+
+	// Load gone, faults off: full service resumes.
+	faultinject.Deactivate()
+	if code := getJSON(t, srv.URL+"/v1/skyline?kind=quadrant&x=10&y=80", nil); code != http.StatusOK {
+		t.Fatalf("query after flood = %d", code)
+	}
+}
+
+// TestChaosPanicRecoveryKeepsServing injects panics into the query path and
+// checks the recovery middleware: each panicking request gets a 500, the
+// process keeps serving, skyserve_panics_total counts the events, and the
+// log line carries the route pattern but never the request's query string.
+func TestChaosPanicRecoveryKeepsServing(t *testing.T) {
+	defer faultinject.Deactivate()
+	logged := captureLog(t)
+	if err := faultinject.Activate("server.query=panic:injected-test-panic#2"); err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := newTestServer(t)
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "/v1/skyline?kind=quadrant&x=10&y=80")
+		if err != nil {
+			t.Fatalf("panicking request %d killed the connection: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panicking request %d: status %d", i, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "internal error") {
+			t.Fatalf("panic leaked details to the client: %q", body)
+		}
+	}
+	// Budget exhausted: the very next request succeeds on the same process.
+	var res skylineResponse
+	if code := getJSON(t, srv.URL+"/v1/skyline?kind=quadrant&x=10&y=80", &res); code != http.StatusOK {
+		t.Fatalf("request after panics = %d", code)
+	}
+	if len(res.IDs) != 3 {
+		t.Fatalf("post-panic skyline wrong: %v", res.IDs)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if v := metricValue(t, string(body), "skyserve_panics_total"); v != 2 {
+		t.Fatalf("skyserve_panics_total = %g, want 2", v)
+	}
+
+	logs := logged.String()
+	if !strings.Contains(logs, "recovered panic on /v1/skyline") {
+		t.Fatalf("recovery not logged with route pattern: %q", logs)
+	}
+	if strings.Contains(logs, "x=10") || strings.Contains(logs, "kind=quadrant") {
+		t.Fatalf("log leaked the request query string: %q", logs)
+	}
+}
+
+// TestChaosAuthedRequestsDoNotLeakCredentials drives authenticated requests
+// (bearer header plus a token query parameter) through both failure paths —
+// a recovered panic and an overload shed — and asserts the credentials never
+// surface in the server's logs or its metrics exposition. It then closes the
+// loop with the paper's authentication layer: a Merkle-verified answer for
+// the same query must match what the recovered server serves.
+func TestChaosAuthedRequestsDoNotLeakCredentials(t *testing.T) {
+	const (
+		bearerSecret = "Bearer sk-chaos-XYZZY-credential"
+		tokenSecret  = "tok-SSSHHH-do-not-log"
+	)
+	defer faultinject.Deactivate()
+	logged := captureLog(t)
+	h, err := New(dataset.Hotels(), Config{MaxInFlight: 1, MaxQueue: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	authedGet := func(path string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", bearerSecret)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	queryPath := "/v1/skyline?kind=quadrant&x=10&y=80&token=" + tokenSecret
+
+	// Path 1: a panic while handling the authenticated request.
+	if err := faultinject.Activate("server.query=panic:auth-chaos#1"); err != nil {
+		t.Fatal(err)
+	}
+	if resp := authedGet(queryPath); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking authed request: status %d", resp.StatusCode)
+	}
+
+	// Path 2: a shed while the single slot is held by a slow injected query.
+	if err := faultinject.Activate("server.query=latency:150ms#1"); err != nil {
+		t.Fatal(err)
+	}
+	slow := make(chan struct{})
+	go func() {
+		defer close(slow)
+		http.Get(srv.URL + "/v1/skyline?kind=quadrant&x=1&y=1")
+	}()
+	time.Sleep(30 * time.Millisecond) // let the slow query take the slot
+	if resp := authedGet(queryPath); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("authed request during saturation: status %d, want 429", resp.StatusCode)
+	}
+	<-slow
+	faultinject.Deactivate()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for what, text := range map[string]string{
+		"logs": logged.String(), "metrics": string(metricsBody),
+	} {
+		if strings.Contains(text, "XYZZY") || strings.Contains(text, "SSSHHH") {
+			t.Fatalf("credentials leaked into %s: %q", what, text)
+		}
+	}
+
+	// The authenticated answer for the same query, proved against the Merkle
+	// root, must agree with the now-healthy server.
+	quad, err := core.BuildQuadrant(dataset.Hotels(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prover, root, err := auth.NewProver(quad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Pt2(-1, 10, 80)
+	ans, err := prover.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auth.Verify(root, q, ans) {
+		t.Fatal("Merkle proof rejected")
+	}
+	var res skylineResponse
+	if code := getJSON(t, srv.URL+"/v1/skyline?kind=quadrant&x=10&y=80", &res); code != http.StatusOK {
+		t.Fatalf("recovered server query = %d", code)
+	}
+	if len(res.IDs) != len(ans.IDs) {
+		t.Fatalf("server ids %v != verified ids %v", res.IDs, ans.IDs)
+	}
+	for i := range ans.IDs {
+		if res.IDs[i] != ans.IDs[i] {
+			t.Fatalf("server ids %v != verified ids %v", res.IDs, ans.IDs)
+		}
+	}
+}
+
+// TestChaosUpdateShedBeforeStateChange pins the writer-shed contract: an
+// update shed with 503 + Retry-After must not have been applied, so a client
+// retry cannot double-insert.
+func TestChaosUpdateShedBeforeStateChange(t *testing.T) {
+	defer faultinject.Deactivate()
+	h, err := New(dataset.Hotels(), Config{UpdateWait: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	h.rebuildHook = func() {
+		entered <- struct{}{}
+		<-block
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		resp, err := http.Post(srv.URL+"/v1/points", "application/json",
+			strings.NewReader(`{"id":600001,"coords":[150,150]}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-entered // the first writer now holds the update slot, wedged
+
+	resp, err := http.Post(srv.URL+"/v1/points", "application/json",
+		strings.NewReader(`{"id":600002,"coords":[151,151]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queued writer behind wedged rebuild: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed update missing Retry-After")
+	}
+
+	close(block)
+	<-slowDone
+	h.rebuildHook = nil
+
+	// The shed insert was never applied: retrying it succeeds (no 409).
+	resp, err = http.Post(srv.URL+"/v1/points", "application/json",
+		strings.NewReader(`{"id":600002,"coords":[151,151]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("retry of shed insert: status %d, want 201", resp.StatusCode)
+	}
+}

@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	GET    /healthz                                liveness
+//	GET    /v1/health                              liveness (never load-shed)
 //	GET    /metrics                                Prometheus text exposition
 //	GET    /v1/stats                               dataset, diagram, and traffic stats
 //	GET    /v1/skyline?kind=quadrant&x=10&y=80     skyline query
@@ -41,25 +42,42 @@
 // outside the read-write lock (the quadrant diagram updates incrementally;
 // the global and dynamic diagrams are rebuilt concurrently, optionally with
 // parallel constructions via Config.Workers), writers are serialized by a
-// dedicated update mutex so no two derive from the same base, and the
+// dedicated update slot so no two derive from the same base, and the
 // read-write lock is taken only for the pointer swap. Readers therefore
 // always see a consistent snapshot and wait at most one pointer assignment,
 // even while a multi-second rebuild is in flight. Datasets beyond the
 // dynamic threshold keep dynamic queries disabled.
+//
+// Overload protection: at most Config.MaxInFlight requests run concurrently;
+// up to Config.MaxQueue more wait for a slot, and everything beyond that is
+// shed immediately with 429 and a Retry-After header. A queued request whose
+// context is canceled before a slot frees gets 503 + Retry-After. Writers
+// waiting on the update slot give up after Config.UpdateWait with the same
+// 503 — the shed happens strictly before any state change, so a shed update
+// is always safe to retry. Every handler runs under a panic-recovery
+// middleware that converts an escaped panic into a 500 (counted in
+// skyserve_panics_total) without killing the process; the recovery log line
+// carries only the route pattern, never the request URL or headers.
+// /healthz, /v1/health, and /metrics bypass the limiter so liveness and
+// observability stay green while the server sheds load.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 )
@@ -76,10 +94,36 @@ type Config struct {
 	// and every rebuild, as core.Options.Workers: 0 builds sequentially,
 	// negative uses GOMAXPROCS, positive uses exactly that many.
 	Workers int
+	// MaxInFlight caps concurrently executing requests on the query, batch,
+	// stats, and update endpoints. Requests beyond it wait in a bounded
+	// queue. 0 means the default of 256; negative disables the limiter.
+	// Liveness endpoints (/healthz, /v1/health) and /metrics are never
+	// limited, so observability survives overload.
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for an execution slot.
+	// Once the queue is full further requests are shed immediately with
+	// 429 and a Retry-After header. 0 means the default of 512; negative
+	// means no queue (shed as soon as MaxInFlight is reached).
+	MaxQueue int
+	// UpdateWait bounds how long an insert/delete may wait for the writer
+	// slot before being shed with 503 + Retry-After. The wait aborts only
+	// BEFORE any state changes, so a shed update is always safe to retry.
+	// 0 means the default of 10s; negative waits forever.
+	UpdateWait time.Duration
 	// Metrics receives the handler's instrumentation. nil means a fresh
 	// registry, retrievable via Handler.Metrics.
 	Metrics *metrics.Registry
 }
+
+// Overload-protection defaults; see Config.
+const (
+	DefaultMaxInFlight = 256
+	DefaultMaxQueue    = 512
+	DefaultUpdateWait  = 10 * time.Second
+	// retryAfterSeconds is the backoff hint sent with every 429/503 shed
+	// response.
+	retryAfterSeconds = "1"
+)
 
 // Batch body sizing: the cap scales with MaxBatch so a server configured
 // for large batches does not 413 legitimate requests, with a floor that
@@ -123,12 +167,25 @@ type Handler struct {
 	queueDepth  *metrics.Gauge     // writers queued or applying
 	updateStart *metrics.Gauge     // unix start of the in-flight update, 0 when idle
 	rebuildLat  *metrics.Histogram // whole-update rebuild latency (kind=total)
+	panics      *metrics.Counter   // panics recovered by the middleware
+	shed        *metrics.Counter   // requests rejected by overload protection
+	inflight    *metrics.Gauge     // requests currently executing on limited endpoints
+	waitDepth   *metrics.Gauge     // requests waiting for an execution slot
 
-	// updateMu serializes writers: each derives its snapshot from the one
-	// published by the previous writer, entirely outside mu, so concurrent
-	// writers cannot both derive from the same base and readers never wait
-	// on a rebuild.
-	updateMu sync.Mutex
+	// slots is the concurrency limiter for the protected endpoints: holding
+	// an element = executing. nil means the limiter is disabled.
+	slots    chan struct{}
+	maxQueue int64
+	waiting  atomic.Int64
+
+	// updateSlot serializes writers (capacity 1, acquired by send): each
+	// derives its snapshot from the one published by the previous writer,
+	// entirely outside mu, so concurrent writers cannot both derive from
+	// the same base and readers never wait on a rebuild. A channel rather
+	// than a mutex so the wait can be abandoned on deadline: a stuck
+	// rebuild then sheds queued writers instead of wedging them forever.
+	updateSlot chan struct{}
+	updateWait time.Duration
 	// rebuildHook, when non-nil, runs inside the update critical section
 	// after the base snapshot is read and before the rebuild — a test seam
 	// for making rebuilds artificially slow without touching the build code.
@@ -141,6 +198,10 @@ type Handler struct {
 // errRebuildFailed marks an update that failed while rebuilding diagrams
 // (as opposed to a rejected derivation, e.g. a duplicate or unknown id).
 var errRebuildFailed = errors.New("rebuild failed")
+
+// errUpdateShed marks an update that timed out waiting for the writer slot,
+// strictly before any state changed — safe for the client to retry.
+var errUpdateShed = errors.New("update shed: writer queue wait exceeded")
 
 func (h *Handler) buildState(pts []geom.Point) (*state, error) {
 	opts := core.Options{Metrics: h.reg, Workers: h.workers}
@@ -171,6 +232,15 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 	if cfg.MaxBatch == 0 {
 		cfg.MaxBatch = 8192
 	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.UpdateWait == 0 {
+		cfg.UpdateWait = DefaultUpdateWait
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -180,6 +250,8 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 		maxBatch:     cfg.MaxBatch,
 		maxBatchBody: batchBodyLimit(cfg.MaxBatch),
 		workers:      cfg.Workers,
+		updateWait:   cfg.UpdateWait,
+		updateSlot:   make(chan struct{}, 1),
 		start:        time.Now(),
 		reg:          reg,
 		requests: reg.Counter("skyserve_requests_total",
@@ -196,6 +268,20 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 		rebuildLat: reg.Histogram("skyserve_rebuild_seconds",
 			"Update rebuild duration in seconds, by diagram kind (total = whole update).",
 			"kind", "total"),
+		panics: reg.Counter("skyserve_panics_total",
+			"Panics recovered by the request middleware (each answered with a 500)."),
+		shed: reg.Counter("skyserve_shed_total",
+			"Requests shed by overload protection (429/503 with Retry-After)."),
+		inflight: reg.Gauge("skyserve_inflight",
+			"Requests currently executing on concurrency-limited endpoints."),
+		waitDepth: reg.Gauge("skyserve_queue_depth",
+			"Requests waiting for an execution slot on concurrency-limited endpoints."),
+	}
+	if cfg.MaxInFlight > 0 {
+		h.slots = make(chan struct{}, cfg.MaxInFlight)
+		if cfg.MaxQueue > 0 {
+			h.maxQueue = int64(cfg.MaxQueue)
+		}
 	}
 	st, err := h.buildState(pts)
 	if err != nil {
@@ -203,15 +289,63 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 	}
 	h.setState(st)
 	mux := http.NewServeMux()
+	// Liveness and metrics bypass the limiter: they must answer while the
+	// service sheds load, or overload becomes invisible exactly when it
+	// matters.
 	mux.HandleFunc("GET /healthz", h.instrument("/healthz", h.handleHealth))
+	mux.HandleFunc("GET /v1/health", h.instrument("/v1/health", h.handleHealth))
 	mux.HandleFunc("GET /metrics", h.instrument("/metrics", h.handleMetrics))
-	mux.HandleFunc("GET /v1/stats", h.instrument("/v1/stats", h.handleStats))
-	mux.HandleFunc("GET /v1/skyline", h.instrument("/v1/skyline", h.handleSkyline))
-	mux.HandleFunc("POST /v1/skyline/batch", h.instrument("/v1/skyline/batch", h.handleBatch))
-	mux.HandleFunc("POST /v1/points", h.instrument("/v1/points", h.handleInsert))
-	mux.HandleFunc("DELETE /v1/points/{id}", h.instrument("/v1/points/{id}", h.handleDelete))
+	mux.HandleFunc("GET /v1/stats", h.instrument("/v1/stats", h.limit(h.handleStats)))
+	mux.HandleFunc("GET /v1/skyline", h.instrument("/v1/skyline", h.limit(h.handleSkyline)))
+	mux.HandleFunc("POST /v1/skyline/batch", h.instrument("/v1/skyline/batch", h.limit(h.handleBatch)))
+	mux.HandleFunc("POST /v1/points", h.instrument("/v1/points", h.limit(h.handleInsert)))
+	mux.HandleFunc("DELETE /v1/points/{id}", h.instrument("/v1/points/{id}", h.limit(h.handleDelete)))
 	h.mux = mux
 	return h, nil
+}
+
+// limit applies the bounded-queue concurrency limiter: up to MaxInFlight
+// requests execute, up to MaxQueue wait for a slot, and everything beyond
+// that is shed immediately with 429 + Retry-After — a cheap rejection the
+// client can back off on, instead of a timeout that ties up both sides.
+// A queued request whose client gives up (context done) leaves the queue.
+func (h *Handler) limit(fn http.HandlerFunc) http.HandlerFunc {
+	if h.slots == nil {
+		return fn
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case h.slots <- struct{}{}:
+		default:
+			// Saturated: try the bounded wait queue.
+			if h.waiting.Add(1) > h.maxQueue {
+				h.waiting.Add(-1)
+				h.shed.Inc()
+				w.Header().Set("Retry-After", retryAfterSeconds)
+				writeError(w, http.StatusTooManyRequests, "server overloaded; retry later")
+				return
+			}
+			h.waitDepth.Set(float64(h.waiting.Load()))
+			select {
+			case h.slots <- struct{}{}:
+				h.waiting.Add(-1)
+				h.waitDepth.Set(float64(h.waiting.Load()))
+			case <-r.Context().Done():
+				h.waiting.Add(-1)
+				h.waitDepth.Set(float64(h.waiting.Load()))
+				h.shed.Inc()
+				w.Header().Set("Retry-After", retryAfterSeconds)
+				writeError(w, http.StatusServiceUnavailable, "request abandoned while queued")
+				return
+			}
+		}
+		h.inflight.Add(1)
+		defer func() {
+			h.inflight.Add(-1)
+			<-h.slots
+		}()
+		fn(w, r)
+	}
 }
 
 // Metrics returns the handler's registry, for callers that want to merge in
@@ -266,8 +400,14 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 }
 
 // instrument wraps an endpoint handler with request counting, latency
-// observation, and error counting, labelled by the route pattern (never the
-// raw URL, keeping metric cardinality bounded).
+// observation, error counting, and panic recovery, labelled by the route
+// pattern (never the raw URL, keeping metric cardinality bounded).
+//
+// A panic anywhere below — handler bug, poisoned snapshot, injected fault —
+// is converted into a 500 for this request only: the goroutine survives, the
+// process keeps serving, and skyserve_panics_total records the event. The
+// log line carries the route pattern and the panic value, never the raw URL,
+// query string, or headers, so credentials in requests cannot leak into logs.
 func (h *Handler) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
 	lat := h.reg.Histogram("skyserve_http_request_seconds",
 		"HTTP request latency in seconds, by endpoint.", "endpoint", endpoint)
@@ -276,18 +416,27 @@ func (h *Handler) instrument(endpoint string, fn http.HandlerFunc) http.HandlerF
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				h.panics.Inc()
+				log.Printf("skyserve: recovered panic on %s: %v", endpoint, p)
+				if sw.code == 0 {
+					writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			if sw.code == 0 {
+				sw.code = http.StatusOK
+			}
+			lat.ObserveDuration(time.Since(start))
+			h.requests.Inc()
+			h.reg.Counter("skyserve_http_requests_total",
+				"HTTP requests, by endpoint and status code.",
+				"endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
+			if sw.code >= 400 {
+				errs.Inc()
+			}
+		}()
 		fn(sw, r)
-		if sw.code == 0 {
-			sw.code = http.StatusOK
-		}
-		lat.ObserveDuration(time.Since(start))
-		h.requests.Inc()
-		h.reg.Counter("skyserve_http_requests_total",
-			"HTTP requests, by endpoint and status code.",
-			"endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
-		if sw.code >= 400 {
-			errs.Inc()
-		}
 	}
 }
 
@@ -323,6 +472,11 @@ type statsResponse struct {
 	UpdateQueueDepth int             `json:"update_queue_depth"`
 	UpdateInFlight   bool            `json:"update_in_flight"`
 	RebuildLatency   *latencySummary `json:"rebuild_latency,omitempty"`
+
+	Inflight    int   `json:"inflight"`
+	QueueDepth  int   `json:"queue_depth"`
+	ShedTotal   int64 `json:"shed_total"`
+	PanicsTotal int64 `json:"panics_total"`
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -355,6 +509,10 @@ func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	resp.UpdateQueueDepth = int(h.queueDepth.Value())
 	resp.UpdateInFlight = h.updateStart.Value() > 0
+	resp.Inflight = int(h.inflight.Value())
+	resp.QueueDepth = int(h.waitDepth.Value())
+	resp.ShedTotal = h.shed.Value()
+	resp.PanicsTotal = h.panics.Value()
 	if rs := h.rebuildLat.Snapshot(); rs.Count > 0 {
 		resp.RebuildLatency = &latencySummary{
 			Count:  rs.Count,
@@ -438,6 +596,13 @@ func (h *Handler) handleSkyline(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "x and y must be finite numbers")
 		return
 	}
+	// Failpoint covering the read path: latency simulates a slow diagram
+	// walk (for overload drills), error a poisoned lookup, panic a handler
+	// bug the recovery middleware must contain.
+	if err := faultinject.Hit("server.query"); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	snap := h.snapshot()
 	d, err := snap.diagramFor(kind)
 	if err != nil {
@@ -518,6 +683,10 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if err := faultinject.Hit("server.query"); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	snap := h.snapshot()
 	d, err := snap.diagramFor(kind)
 	if err != nil {
@@ -573,7 +742,7 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	p := geom.Point{ID: req.ID, Coords: req.Coords}
 
-	n, err := h.applyUpdate(func(base *state) (*core.QuadrantDiagram, []geom.Point, error) {
+	n, err := h.applyUpdate(r.Context(), func(base *state) (*core.QuadrantDiagram, []geom.Point, error) {
 		quad, err := base.quadrant.WithInsert(p)
 		if err != nil {
 			return nil, nil, err
@@ -581,14 +750,26 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return quad, append(append([]geom.Point(nil), base.points...), p), nil
 	})
 	if err != nil {
-		if errors.Is(err, errRebuildFailed) {
-			writeError(w, http.StatusInternalServerError, err.Error())
-		} else {
-			writeError(w, http.StatusConflict, err.Error())
-		}
+		writeUpdateError(w, err, http.StatusConflict)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int{"points": n})
+}
+
+// writeUpdateError maps an applyUpdate failure: a shed wait is 503 +
+// Retry-After (nothing was applied; safe to retry), a rebuild failure is a
+// 500, and a rejected derivation gets the caller's status (409 duplicate,
+// 404 unknown id).
+func writeUpdateError(w http.ResponseWriter, err error, deriveStatus int) {
+	switch {
+	case errors.Is(err, errUpdateShed):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, errRebuildFailed):
+		writeError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeError(w, deriveStatus, err.Error())
+	}
 }
 
 func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -597,7 +778,7 @@ func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid id")
 		return
 	}
-	n, err := h.applyUpdate(func(base *state) (*core.QuadrantDiagram, []geom.Point, error) {
+	n, err := h.applyUpdate(r.Context(), func(base *state) (*core.QuadrantDiagram, []geom.Point, error) {
 		quad, err := base.quadrant.WithDelete(id)
 		if err != nil {
 			return nil, nil, err
@@ -611,11 +792,7 @@ func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return quad, pts, nil
 	})
 	if err != nil {
-		if errors.Is(err, errRebuildFailed) {
-			writeError(w, http.StatusInternalServerError, err.Error())
-		} else {
-			writeError(w, http.StatusNotFound, err.Error())
-		}
+		writeUpdateError(w, err, http.StatusNotFound)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"points": n})
@@ -625,20 +802,40 @@ func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request) {
 // readers: derive computes the incrementally maintained quadrant diagram and
 // the new point set from the base snapshot, the global/dynamic diagrams are
 // rebuilt concurrently, and only the final pointer swap takes the snapshot
-// lock. updateMu serializes writers so each derives from the snapshot the
-// previous writer published. A derive error is returned as-is (the caller
-// maps it to 409/404); rebuild errors are wrapped in errRebuildFailed.
-func (h *Handler) applyUpdate(derive func(base *state) (*core.QuadrantDiagram, []geom.Point, error)) (int, error) {
+// lock. The writer slot serializes writers so each derives from the snapshot
+// the previous writer published. A derive error is returned as-is (the
+// caller maps it to 409/404); rebuild errors are wrapped in errRebuildFailed.
+//
+// The wait for the writer slot is bounded by ctx (Config.UpdateWait plus the
+// client's own deadline): a writer stuck behind a wedged rebuild gives up
+// with errUpdateShed — strictly before reading or modifying any state — so
+// the caller can answer 503 + Retry-After and the client can retry safely,
+// knowing the shed update was never applied. Once the slot is held, the
+// update always runs to completion; it is never torn down halfway.
+func (h *Handler) applyUpdate(ctx context.Context, derive func(base *state) (*core.QuadrantDiagram, []geom.Point, error)) (int, error) {
 	h.queueDepth.Add(1)
 	defer h.queueDepth.Add(-1)
-	h.updateMu.Lock()
-	defer h.updateMu.Unlock()
+	if h.updateWait > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.updateWait)
+		defer cancel()
+	}
+	select {
+	case h.updateSlot <- struct{}{}:
+	case <-ctx.Done():
+		h.shed.Inc()
+		return 0, fmt.Errorf("%w: %v", errUpdateShed, ctx.Err())
+	}
+	defer func() { <-h.updateSlot }()
 	h.updateStart.Set(float64(time.Now().UnixNano()) / 1e9)
 	defer h.updateStart.Set(0)
 
 	start := time.Now()
 	base := h.snapshot()
 	t0 := time.Now()
+	if err := faultinject.Hit("server.update.derive"); err != nil {
+		return 0, fmt.Errorf("%w: %v", errRebuildFailed, err)
+	}
 	quad, pts, err := derive(base)
 	if err != nil {
 		return 0, err
@@ -648,6 +845,9 @@ func (h *Handler) applyUpdate(derive func(base *state) (*core.QuadrantDiagram, [
 		"kind", "quadrant").ObserveDuration(time.Since(t0))
 	if h.rebuildHook != nil {
 		h.rebuildHook()
+	}
+	if err := faultinject.Hit("server.update.rebuild"); err != nil {
+		return 0, fmt.Errorf("%w: %v", errRebuildFailed, err)
 	}
 	next, err := h.rebuildAround(quad, pts)
 	if err != nil {

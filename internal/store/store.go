@@ -13,22 +13,36 @@
 //	index    per page: offset:uint64, length:uint32, crc32:uint32
 //	pages    each page: cellsPerPage local offsets (uint32) followed by the
 //	         cells' payloads (count:uint32, ids: count × int32)
+//	trailer  magic "SKYDEND1", crc32 of every preceding byte (format
+//	         version 2; version-1 files without a trailer still open)
 //
-// Every page is CRC-checked on load, so silent corruption turns into an
-// error instead of a wrong skyline.
+// Every page is CRC-checked on load, and opening a version-2 file of known
+// size verifies the full-file checksum trailer first, so silent corruption —
+// including a torn write that stopped mid-file — turns into ErrCorrupt
+// instead of a wrong skyline.
+//
+// CreateFile is crash-safe: it writes to a temporary file in the target's
+// directory, fsyncs it, renames it into place, and fsyncs the directory, so
+// a crash at any instant leaves either the previous generation or the new
+// one — never a torn file under the target name. Recover opens a path after
+// a suspected crash, salvaging a completed-but-unrenamed generation and
+// discarding torn temporaries.
 package store
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/dyndiag"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/quaddiag"
@@ -36,14 +50,24 @@ import (
 
 const (
 	magic        = "SKYDSTO1"
-	version      = 1
+	version      = 2
 	headerSize   = 64
 	indexEntrySz = 16
+	// trailerMagic ends every version-2 file, followed by a CRC32 of all
+	// preceding bytes.
+	trailerMagic = "SKYDEND1"
+	trailerSize  = 12
 	// CellsPerPage balances page size (decode cost) against index size.
 	CellsPerPage = 256
 	// DefaultCacheSize is the number of decoded pages kept in memory.
 	DefaultCacheSize = 64
 )
+
+// ErrCorrupt marks a file whose bytes are structurally or checksum-wise
+// wrong: torn writes, flipped bits, truncation. I/O failures (a ReadAt
+// error) are returned as-is and do NOT wrap ErrCorrupt, so callers can tell
+// a poisoned file (rebuild or restore it) from a flaky disk (retry).
+var ErrCorrupt = errors.New("store: corrupt file")
 
 // Diagram kinds stored in the header.
 const (
@@ -71,7 +95,11 @@ func write(w io.Writer, pts []geom.Point, cells [][]int32, cols, rows, kind int)
 		return fmt.Errorf("store: diagram has no cells")
 	}
 
-	bw := bufio.NewWriter(w)
+	raw := bufio.NewWriter(w)
+	// Everything before the trailer streams through the payload CRC, which
+	// the trailer then pins for whole-file verification on open.
+	sum := crc32.NewIEEE()
+	bw := io.MultiWriter(raw, sum)
 	// Build pages first so the index can be written before them.
 	pages := make([][]byte, numPages)
 	for pg := 0; pg < numPages; pg++ {
@@ -137,11 +165,23 @@ func write(w io.Writer, pts []geom.Point, cells [][]int32, cols, rows, kind int)
 
 	// Pages.
 	for _, page := range pages {
+		if err := faultinject.Hit("store.write.page"); err != nil {
+			_ = raw.Flush() // leave the torn prefix behind, as a crash would
+			return err
+		}
 		if _, err := bw.Write(page); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+
+	// Trailer: not part of its own checksum.
+	var tr [trailerSize]byte
+	copy(tr[0:8], trailerMagic)
+	be.PutUint32(tr[8:], sum.Sum32())
+	if _, err := raw.Write(tr[:]); err != nil {
+		return err
+	}
+	return raw.Flush()
 }
 
 func dimOf(pts []geom.Point) int {
@@ -179,17 +219,102 @@ func encodePage(cells [][]int32) []byte {
 	return page
 }
 
-// CreateFile writes the diagram to path.
+// TempSuffix is appended to the target path for the intermediate file
+// CreateFile writes before the atomic rename. Recover knows to look for it.
+const TempSuffix = ".tmp"
+
+// CreateFile writes the diagram to path atomically: the bytes go to a
+// temporary file in the same directory, which is fsynced and then renamed
+// over path, followed by a directory fsync. A crash (or injected fault) at
+// any step leaves path holding either its previous contents or the complete
+// new file — never a torn mix. A torn temporary may remain; CreateFile
+// overwrites it on the next attempt and Recover discards it.
 func CreateFile(path string, d *quaddiag.Diagram) error {
-	f, err := os.Create(path)
+	return createFile(path, func(w io.Writer) error { return Write(w, d) })
+}
+
+// CreateFileDynamic is CreateFile for a dynamic diagram.
+func CreateFileDynamic(path string, d *dyndiag.Diagram) error {
+	return createFile(path, func(w io.Writer) error { return WriteDynamic(w, d) })
+}
+
+func createFile(path string, write func(io.Writer) error) error {
+	tmp := path + TempSuffix
+	if err := faultinject.Hit("store.create.create"); err != nil {
+		return fmt.Errorf("store: create %s: %w", tmp, err)
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := Write(f, d); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := faultinject.Hit("store.create.sync"); err != nil {
+		f.Close()
+		return fmt.Errorf("store: fsync %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := faultinject.Hit("store.create.rename"); err != nil {
+		return fmt.Errorf("store: rename %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := faultinject.Hit("store.create.dirsync"); err != nil {
+		return fmt.Errorf("store: sync dir of %s: %w", path, err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Filesystems that refuse to fsync directories are tolerated: the rename
+// itself is still atomic, only its durability window widens.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer df.Close()
+	_ = df.Sync()
+	return nil
+}
+
+// Recover opens the diagram at path after a suspected crash. If path opens
+// cleanly it wins and any leftover temporary is deleted. If path is corrupt
+// or missing but a complete temporary from an interrupted CreateFile exists,
+// that newer generation is renamed into place and served. A torn temporary
+// is deleted. When neither generation is usable, the original open error is
+// returned (wrapping ErrCorrupt when the file is damaged rather than
+// unreadable).
+func Recover(path string) (*Store, error) {
+	tmp := path + TempSuffix
+	s, err := Open(path)
+	if err == nil {
+		_ = os.Remove(tmp)
+		return s, nil
+	}
+	if ts, terr := Open(tmp); terr == nil {
+		// The temp is a complete, checksum-clean generation: the crash hit
+		// between the data fsync and the rename. Finish the job.
+		ts.Close()
+		if rerr := os.Rename(tmp, path); rerr != nil {
+			return nil, rerr
+		}
+		if serr := syncDir(filepath.Dir(path)); serr != nil {
+			return nil, serr
+		}
+		return Open(path)
+	}
+	_ = os.Remove(tmp)
+	return nil, err
 }
 
 // Store serves queries from a diagram file.
@@ -224,13 +349,20 @@ type pageMeta struct {
 	crc    uint32
 }
 
-// Open maps a diagram file for querying with the default cache size.
+// Open maps a diagram file for querying with the default cache size. The
+// file's real size is always known here, so version-2 files get their
+// whole-file checksum trailer verified before the first query.
 func Open(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	s, err := New(f, DefaultCacheSize)
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := NewSized(f, DefaultCacheSize, fi.Size())
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -264,15 +396,28 @@ func New(r io.ReaderAt, cacheSize int) (*Store, error) {
 // beyond the structural header checks).
 func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 	var hdr [headerSize]byte
+	if err := faultinject.Hit("store.ReadAt"); err != nil {
+		return nil, fmt.Errorf("store: read header: %w", err)
+	}
 	if _, err := r.ReadAt(hdr[:], 0); err != nil {
 		return nil, fmt.Errorf("store: read header: %w", err)
 	}
 	if string(hdr[0:8]) != magic {
-		return nil, fmt.Errorf("store: bad magic %q", hdr[0:8])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[0:8])
 	}
 	be := binary.BigEndian
-	if v := be.Uint32(hdr[8:]); v != version {
+	v := be.Uint32(hdr[8:])
+	if v != 1 && v != version {
 		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	// Version-2 files carry a whole-file checksum trailer; verifying it up
+	// front turns any torn or bit-flipped region — even one no query would
+	// touch for days — into an immediate ErrCorrupt. Requires a known size;
+	// for size-unknown readers the per-page CRCs remain the only guard.
+	if v >= 2 && size >= 0 {
+		if err := verifyTrailer(r, size); err != nil {
+			return nil, err
+		}
 	}
 	s := &Store{
 		r:    r,
@@ -282,7 +427,7 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 		kind: int(be.Uint32(hdr[60:])),
 	}
 	if s.kind != kindQuadrant && s.kind != kindDynamic {
-		return nil, fmt.Errorf("store: unknown diagram kind %d", s.kind)
+		return nil, fmt.Errorf("%w: unknown diagram kind %d", ErrCorrupt, s.kind)
 	}
 	numPoints64 := be.Uint64(hdr[16:])
 	cpp := int(be.Uint32(hdr[32:]))
@@ -292,46 +437,49 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 	numPages64 := be.Uint64(hdr[36:])
 	indexOffset := int64(be.Uint64(hdr[44:]))
 	if s.cols <= 0 || s.rows <= 0 || s.dim != 2 {
-		return nil, fmt.Errorf("store: corrupt header: cols=%d rows=%d dim=%d", s.cols, s.rows, s.dim)
+		return nil, fmt.Errorf("%w: header: cols=%d rows=%d dim=%d", ErrCorrupt, s.cols, s.rows, s.dim)
 	}
 	// Bound every header-declared count BEFORE sizing a buffer from it: a
 	// corrupt header must fail cheaply, not allocate multi-GB slices that
 	// only a later CRC or grid check would reject.
 	if int64(s.cols)*int64(s.rows) > math.MaxInt32 {
-		return nil, fmt.Errorf("store: corrupt header: %dx%d cells", s.cols, s.rows)
+		return nil, fmt.Errorf("%w: header: %dx%d cells", ErrCorrupt, s.cols, s.rows)
 	}
 	wantPages := (s.cols*s.rows + CellsPerPage - 1) / CellsPerPage
 	if numPages64 != uint64(wantPages) {
-		return nil, fmt.Errorf("store: header claims %d pages for %d cells", numPages64, s.cols*s.rows)
+		return nil, fmt.Errorf("%w: header claims %d pages for %d cells", ErrCorrupt, numPages64, s.cols*s.rows)
 	}
 	s.numPages = wantPages
 	recordSize := int64(8 + 8*s.dim)
 	if numPoints64 > uint64((math.MaxInt64-headerSize)/recordSize) {
-		return nil, fmt.Errorf("store: corrupt header: %d points", numPoints64)
+		return nil, fmt.Errorf("%w: header: %d points", ErrCorrupt, numPoints64)
 	}
 	pointsBytes := int64(numPoints64) * recordSize
 	// The writer lays the index immediately after the points, so the two
 	// header fields must agree — a cheap structural check that catches a
 	// corrupted point count even when the reader size is unknown.
 	if indexOffset != headerSize+pointsBytes {
-		return nil, fmt.Errorf("store: header claims %d points but index offset %d (want %d)",
-			numPoints64, indexOffset, headerSize+pointsBytes)
+		return nil, fmt.Errorf("%w: header claims %d points but index offset %d (want %d)",
+			ErrCorrupt, numPoints64, indexOffset, headerSize+pointsBytes)
 	}
 	if size >= 0 {
 		if headerSize+pointsBytes > size {
-			return nil, fmt.Errorf("store: header claims %d points (%d bytes) but reader holds %d bytes",
-				numPoints64, pointsBytes, size)
+			return nil, fmt.Errorf("%w: header claims %d points (%d bytes) but reader holds %d bytes",
+				ErrCorrupt, numPoints64, pointsBytes, size)
 		}
 		indexBytes := int64(s.numPages) * indexEntrySz
 		if indexOffset < headerSize || indexOffset > size-indexBytes {
-			return nil, fmt.Errorf("store: header claims a %d-byte page index at offset %d but reader holds %d bytes",
-				indexBytes, indexOffset, size)
+			return nil, fmt.Errorf("%w: header claims a %d-byte page index at offset %d but reader holds %d bytes",
+				ErrCorrupt, indexBytes, indexOffset, size)
 		}
 	}
 	numPoints := int(numPoints64)
 
 	// Points.
 	ptsBuf := make([]byte, pointsBytes)
+	if err := faultinject.Hit("store.ReadAt"); err != nil {
+		return nil, fmt.Errorf("store: read points: %w", err)
+	}
 	if _, err := r.ReadAt(ptsBuf, headerSize); err != nil {
 		return nil, fmt.Errorf("store: read points: %w", err)
 	}
@@ -350,8 +498,8 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 	if s.kind == kindDynamic {
 		sg := grid.NewSubGrid(s.points)
 		if sg.Cols() != s.cols || sg.Rows() != s.rows {
-			return nil, fmt.Errorf("store: points imply a %dx%d subgrid, header says %dx%d",
-				sg.Cols(), sg.Rows(), s.cols, s.rows)
+			return nil, fmt.Errorf("%w: points imply a %dx%d subgrid, header says %dx%d",
+				ErrCorrupt, sg.Cols(), sg.Rows(), s.cols, s.rows)
 		}
 		s.xs = make([]float64, len(sg.XLines))
 		for i, l := range sg.XLines {
@@ -364,14 +512,17 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 	} else {
 		g := grid.NewGrid(s.points)
 		if g.Cols() != s.cols || g.Rows() != s.rows {
-			return nil, fmt.Errorf("store: points imply a %dx%d grid, header says %dx%d",
-				g.Cols(), g.Rows(), s.cols, s.rows)
+			return nil, fmt.Errorf("%w: points imply a %dx%d grid, header says %dx%d",
+				ErrCorrupt, g.Cols(), g.Rows(), s.cols, s.rows)
 		}
 		s.xs, s.ys = g.Xs, g.Ys
 	}
 
 	// Page index.
 	idxBuf := make([]byte, s.numPages*indexEntrySz)
+	if err := faultinject.Hit("store.ReadAt"); err != nil {
+		return nil, fmt.Errorf("store: read index: %w", err)
+	}
 	if _, err := r.ReadAt(idxBuf, indexOffset); err != nil {
 		return nil, fmt.Errorf("store: read index: %w", err)
 	}
@@ -387,8 +538,8 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 	if size >= 0 {
 		for pg, meta := range s.pageIndex {
 			if meta.off > uint64(size) || uint64(meta.length) > uint64(size)-meta.off {
-				return nil, fmt.Errorf("store: page %d (%d bytes at offset %d) overruns the %d-byte reader",
-					pg, meta.length, meta.off, size)
+				return nil, fmt.Errorf("%w: page %d (%d bytes at offset %d) overruns the %d-byte reader",
+					ErrCorrupt, pg, meta.length, meta.off, size)
 			}
 		}
 	}
@@ -485,13 +636,59 @@ func (s *Store) page(pg int) ([]byte, error) {
 func (s *Store) loadPage(pg int) ([]byte, error) {
 	meta := s.pageIndex[pg]
 	buf := make([]byte, meta.length)
+	if err := faultinject.Hit("store.page.read"); err != nil {
+		return nil, fmt.Errorf("store: read page %d: %w", pg, err)
+	}
 	if _, err := s.r.ReadAt(buf, int64(meta.off)); err != nil {
 		return nil, fmt.Errorf("store: read page %d: %w", pg, err)
 	}
+	if err := faultinject.Hit("store.page.crc"); err != nil {
+		return nil, fmt.Errorf("%w: page %d checksum mismatch (%v)", ErrCorrupt, pg, err)
+	}
 	if got := crc32.ChecksumIEEE(buf); got != meta.crc {
-		return nil, fmt.Errorf("store: page %d checksum mismatch (file corrupt)", pg)
+		return nil, fmt.Errorf("%w: page %d checksum mismatch", ErrCorrupt, pg)
 	}
 	return buf, nil
+}
+
+// verifyTrailer checks a version-2 file's whole-payload checksum against its
+// trailer. Checksum or structure problems wrap ErrCorrupt; read failures are
+// returned as plain I/O errors.
+func verifyTrailer(r io.ReaderAt, size int64) error {
+	if size < headerSize+trailerSize {
+		return fmt.Errorf("%w: %d bytes is too small for a trailer", ErrCorrupt, size)
+	}
+	var tr [trailerSize]byte
+	if err := faultinject.Hit("store.ReadAt"); err != nil {
+		return fmt.Errorf("store: read trailer: %w", err)
+	}
+	if _, err := r.ReadAt(tr[:], size-trailerSize); err != nil {
+		return fmt.Errorf("store: read trailer: %w", err)
+	}
+	if string(tr[0:8]) != trailerMagic {
+		return fmt.Errorf("%w: missing trailer (torn write?)", ErrCorrupt)
+	}
+	want := binary.BigEndian.Uint32(tr[8:])
+	sum := crc32.NewIEEE()
+	buf := make([]byte, 256<<10)
+	for off := int64(0); off < size-trailerSize; {
+		n := int64(len(buf))
+		if rest := size - trailerSize - off; rest < n {
+			n = rest
+		}
+		if err := faultinject.Hit("store.ReadAt"); err != nil {
+			return fmt.Errorf("store: verify read at %d: %w", off, err)
+		}
+		if _, err := r.ReadAt(buf[:n], off); err != nil {
+			return fmt.Errorf("store: verify read at %d: %w", off, err)
+		}
+		sum.Write(buf[:n])
+		off += n
+	}
+	if sum.Sum32() != want {
+		return fmt.Errorf("%w: full-file checksum mismatch", ErrCorrupt)
+	}
+	return nil
 }
 
 // QueryBatch answers many queries with page-ordered access: queries are

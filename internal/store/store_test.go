@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -118,33 +119,66 @@ func TestCorruptionDetected(t *testing.T) {
 	// Bad magic.
 	bad := append([]byte(nil), raw...)
 	bad[0] ^= 0xFF
-	if _, err := New(bytes.NewReader(bad), 4); err == nil {
-		t.Fatal("bad magic must fail")
+	if _, err := New(bytes.NewReader(bad), 4); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: want ErrCorrupt, got %v", err)
 	}
 
-	// Flip one byte in the last page's payload: the CRC must catch it.
+	// Flip one byte in the last page's payload. With a known size the
+	// full-file trailer checksum catches it at open...
 	bad = append([]byte(nil), raw...)
-	bad[len(bad)-1] ^= 0x01
-	s, err := New(bytes.NewReader(bad), 4)
+	bad[len(bad)-trailerSize-1] ^= 0x01
+	if _, err := New(bytes.NewReader(bad), 4); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte: want ErrCorrupt at open, got %v", err)
+	}
+	// ...and with an unknown size (no trailer verification possible) the
+	// per-page CRC still catches it on first touch.
+	s, err := NewSized(bytes.NewReader(bad), 4, -1)
 	if err != nil {
 		t.Fatal(err) // header still fine
 	}
 	lastCell := s.NumCells() - 1
 	i, j := lastCell/s.rows, lastCell%s.rows
-	if _, err := s.Cell(i, j); err == nil {
-		t.Fatal("corrupted page must fail its checksum")
+	if _, err := s.Cell(i, j); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted page: want ErrCorrupt from its checksum, got %v", err)
 	}
 
-	// Truncated file.
+	// Truncated file: the trailer is gone, so a known size fails at open.
 	if _, err := New(bytes.NewReader(raw[:40]), 4); err == nil {
 		t.Fatal("truncated header must fail")
 	}
-	s2, err := New(bytes.NewReader(raw[:len(raw)-8]), 4)
+	if _, err := New(bytes.NewReader(raw[:len(raw)-8]), 4); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated file: want ErrCorrupt, got %v", err)
+	}
+	s2, err := NewSized(bytes.NewReader(raw[:len(raw)-trailerSize-8]), 4, -1)
 	if err == nil {
 		// Header parses; the damaged page read must fail.
 		if _, err := s2.Cell(s2.cols-1, s2.rows-1); err == nil {
 			t.Fatal("truncated page must fail")
 		}
+	}
+}
+
+// TestLegacyVersion1StillOpens guards the compatibility promise: a version-1
+// file — no trailer — written by earlier releases must keep opening.
+func TestLegacyVersion1StillOpens(t *testing.T) {
+	d := buildDiagram(t, 20, 11)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	legacy := append([]byte(nil), buf.Bytes()...)
+	legacy = legacy[:len(legacy)-trailerSize] // strip the trailer...
+	binary.BigEndian.PutUint32(legacy[8:], 1) // ...and declare version 1
+	s, err := New(bytes.NewReader(legacy), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Query(geom.Pt2(-1, 10.5, 10.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := d.Query(geom.Pt2(-1, 10.5, 10.5)); len(got) != len(want) {
+		t.Fatalf("legacy query %v, want %v", got, want)
 	}
 }
 

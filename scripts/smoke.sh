@@ -68,4 +68,26 @@ curl -fsS http://127.0.0.1:18080/v1/stats | grep -q '"points":11'
 kill -TERM "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 
+echo "== overload (tiny limits + injected latency: shed 429s, liveness green)"
+"$tmp/skyserve" -addr 127.0.0.1:18081 -max-inflight 1 -max-queue 1 \
+    -faults 'server.query=latency:30ms' >/dev/null 2>&1 &
+over_pid=$!
+trap 'kill "$serve_pid" "$over_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+for i in $(seq 1 50); do
+    curl -fsS http://127.0.0.1:18081/healthz >/dev/null 2>&1 && break
+    sleep 0.1
+done
+go run ./cmd/skyload -addr http://127.0.0.1:18081 -c 8 -duration 2s \
+    | tee "$tmp/flood.txt" | grep -q 'throughput'
+# the flood must have been shed (not errored)...
+grep -Eq 'shed: [1-9]' "$tmp/flood.txt"
+grep -q 'errors: 0' "$tmp/flood.txt"
+# ...while liveness and the shed telemetry stayed reachable
+curl -fsS http://127.0.0.1:18081/v1/health >/dev/null
+curl -fsS http://127.0.0.1:18081/metrics | grep -q 'skyserve_shed_total'
+code=$(curl -s -o /dev/null -w '%{http_code}' http://127.0.0.1:18081/v1/health)
+test "$code" = "200"
+kill -TERM "$over_pid"
+wait "$over_pid" 2>/dev/null || true
+
 echo "smoke OK"
