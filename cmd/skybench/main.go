@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -22,15 +24,39 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
-	exp := flag.String("exp", "", "run a single experiment (E1..E10)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E12, E16, E17)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	reps := flag.Int("reps", 1, "report the minimum of this many runs per measurement")
 	plotDir := flag.String("plotdir", "", "also write each experiment's figure as <dir>/<ID>.svg")
 	format := flag.String("format", "text", "table output: text|markdown")
 	metricsOut := flag.String("metricsout", "", "write Prometheus-format build metrics from an instrumented build pass to this file")
+	repr := flag.String("repr", "", "restrict E16 to one representation: naive|interned (default both)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Reps: *reps}
+	if *repr != "" && *repr != "naive" && *repr != "interned" {
+		fmt.Fprintf(os.Stderr, "skybench: -repr must be naive or interned, got %q\n", *repr)
+		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skybench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "skybench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuProfile)
+		}()
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Reps: *reps, Repr: *repr}
 	var tables []experiments.Table
 	if *exp != "" {
 		f, ok := experiments.ByID(*exp)
@@ -56,6 +82,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
+	}
+	if *memProfile != "" {
+		runtime.GC() // settle the heap so the profile shows live data, not garbage
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skybench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "skybench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *memProfile)
 	}
 	if *plotDir == "" {
 		return

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func genPoints(tb testing.TB, n int, dist dataset.Distribution, seed int64) []Point {
+	tb.Helper()
+	pts, err := dataset.Generate(dataset.Config{N: n, Dim: 2, Dist: dist, Seed: seed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pts
+}
+
+// TestQueryZeroAllocs pins the read path of every diagram kind at zero heap
+// allocations: point location is a pair of binary searches and the result is
+// a label indirection into the interned arena — nothing to allocate. This is
+// the contract the serving hot loop depends on; a regression here shows up
+// as GC pressure under load.
+func TestQueryZeroAllocs(t *testing.T) {
+	pts := genPoints(t, 64, dataset.Independent, 17)
+	quad, err := BuildQuadrant(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	glob, err := BuildGlobal(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := BuildDynamic(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := [][2]float64{{0.1, 0.9}, {0.5, 0.5}, {0.93, 0.07}, {-1, 2}}
+
+	kinds := []struct {
+		name  string
+		query func(x, y float64) []int32
+	}{
+		{"quadrant", quad.QueryXY},
+		{"global", glob.QueryXY},
+		{"dynamic", dyn.QueryXY},
+	}
+	for _, k := range kinds {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			allocs := testing.AllocsPerRun(500, func() {
+				for _, p := range probes {
+					k.query(p[0], p[1])
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("%s QueryXY: %v allocs/op, want 0", k.name, allocs)
+			}
+		})
+	}
+}
+
+func benchQuery(b *testing.B, query func(x, y float64) []int32) {
+	// A fixed probe walk covering many cells, so the benchmark measures point
+	// location + label indirection rather than one hot cache line.
+	b.ReportAllocs()
+	b.ResetTimer()
+	x, y := 0.0, 1.0
+	for i := 0; i < b.N; i++ {
+		query(x, y)
+		x += 0.037
+		if x > 1 {
+			x -= 1
+		}
+		y -= 0.041
+		if y < 0 {
+			y += 1
+		}
+	}
+}
+
+func BenchmarkQueryQuadrant(b *testing.B) {
+	quad, err := BuildQuadrant(genPoints(b, 600, dataset.Independent, 23), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchQuery(b, quad.QueryXY)
+}
+
+func BenchmarkQueryGlobal(b *testing.B) {
+	glob, err := BuildGlobal(genPoints(b, 600, dataset.Independent, 23), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchQuery(b, glob.QueryXY)
+}
+
+func BenchmarkQueryDynamic(b *testing.B) {
+	dyn, err := BuildDynamic(genPoints(b, 64, dataset.Independent, 23), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchQuery(b, dyn.QueryXY)
+}

@@ -105,6 +105,10 @@ func (o Options) dynamicAlg() dyndiag.Algorithm {
 type Diagram interface {
 	// Query returns the ids of the skyline result for query point q.
 	Query(q Point) []int32
+	// QueryXY is Query on raw coordinates, avoiding the Point wrapper: the
+	// serving hot path. The returned slice aliases the diagram's interned
+	// arena and must not be modified; the call performs zero allocations.
+	QueryXY(x, y float64) []int32
 	// QueryPoints resolves the result ids to the original points.
 	QueryPoints(q Point) []Point
 }
@@ -157,6 +161,9 @@ func BuildQuadrant(pts []Point, opts Options) (*QuadrantDiagram, error) {
 
 // Query implements Diagram.
 func (qd *QuadrantDiagram) Query(q Point) []int32 { return qd.d.Query(q) }
+
+// QueryXY implements Diagram.
+func (qd *QuadrantDiagram) QueryXY(x, y float64) []int32 { return qd.d.QueryXY(x, y) }
 
 // QueryPoints implements Diagram.
 func (qd *QuadrantDiagram) QueryPoints(q Point) []Point {
@@ -218,6 +225,9 @@ func BuildGlobal(pts []Point, opts Options) (*GlobalDiagram, error) {
 // Query implements Diagram.
 func (gd *GlobalDiagram) Query(q Point) []int32 { return gd.d.Query(q) }
 
+// QueryXY implements Diagram.
+func (gd *GlobalDiagram) QueryXY(x, y float64) []int32 { return gd.d.QueryXY(x, y) }
+
 // QueryPoints implements Diagram.
 func (gd *GlobalDiagram) QueryPoints(q Point) []Point {
 	return resolve(gd.byID, gd.d.Query(q))
@@ -250,6 +260,9 @@ func BuildDynamic(pts []Point, opts Options) (*DynamicDiagram, error) {
 
 // Query implements Diagram.
 func (dd *DynamicDiagram) Query(q Point) []int32 { return dd.d.Query(q) }
+
+// QueryXY implements Diagram.
+func (dd *DynamicDiagram) QueryXY(x, y float64) []int32 { return dd.d.QueryXY(x, y) }
 
 // QueryPoints implements Diagram.
 func (dd *DynamicDiagram) QueryPoints(q Point) []Point {

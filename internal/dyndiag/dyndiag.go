@@ -28,37 +28,77 @@ import (
 	"repro/internal/grid"
 	"repro/internal/polyomino"
 	"repro/internal/quaddiag"
+	"repro/internal/resultset"
 	"repro/internal/skyline"
 )
 
 // Diagram is a computed dynamic skyline diagram at subcell granularity.
+// Like quaddiag.Diagram it is built in two phases: constructions fill a
+// scratch [][]int32 (the parallel builders write distinct subcells from
+// several goroutines), then freeze() interns every subcell into the CSR
+// table of package resultset, the only representation readers see.
 type Diagram struct {
 	Points []geom.Point
 	Sub    *grid.SubGrid
-	cells  [][]int32
-	rows   int
+	// scratch[i*rows+j] during construction; labels/results after freeze().
+	scratch [][]int32
+	labels  []uint32
+	results *resultset.Table
+	rows    int
 }
 
 func newDiagram(pts []geom.Point, sg *grid.SubGrid) *Diagram {
 	return &Diagram{
-		Points: pts,
-		Sub:    sg,
-		cells:  make([][]int32, sg.Cols()*sg.Rows()),
-		rows:   sg.Rows(),
+		Points:  pts,
+		Sub:     sg,
+		scratch: make([][]int32, sg.Cols()*sg.Rows()),
+		rows:    sg.Rows(),
 	}
 }
 
-// Cell returns the dynamic skyline ids of subcell (i, j), ascending. The
-// slice is owned by the diagram.
-func (d *Diagram) Cell(i, j int) []int32 { return d.cells[i*d.rows+j] }
+// freeze interns every scratch subcell into the CSR table. Idempotent;
+// called by every public constructor. Must not run concurrently with setCell.
+func (d *Diagram) freeze() {
+	if d.results != nil {
+		return
+	}
+	in := resultset.NewInterner()
+	d.labels = make([]uint32, len(d.scratch))
+	for k, ids := range d.scratch {
+		d.labels[k] = in.Intern(ids)
+	}
+	d.results = in.Table()
+	d.scratch = nil
+}
 
-func (d *Diagram) setCell(i, j int, ids []int32) { d.cells[i*d.rows+j] = ids }
+// Cell returns the dynamic skyline ids of subcell (i, j), ascending. The
+// slice aliases diagram-owned storage; callers must not modify it.
+func (d *Diagram) Cell(i, j int) []int32 {
+	if d.results != nil {
+		return d.results.Result(d.labels[i*d.rows+j])
+	}
+	return d.scratch[i*d.rows+j]
+}
+
+func (d *Diagram) setCell(i, j int, ids []int32) { d.scratch[i*d.rows+j] = ids }
+
+// Label returns the interned result label of subcell (i, j).
+func (d *Diagram) Label(i, j int) uint32 { return d.labels[i*d.rows+j] }
+
+// Results exposes the frozen interned result table backing the diagram.
+func (d *Diagram) Results() *resultset.Table { return d.results }
 
 // Query answers a dynamic skyline query by point location: O(log n) plus
 // output size.
 func (d *Diagram) Query(q geom.Point) []int32 {
 	i, j := d.Sub.Locate(q)
-	return d.Cell(i, j)
+	return d.results.Result(d.labels[i*d.rows+j])
+}
+
+// QueryXY is Query without the geom.Point wrapper — the serving hot path.
+func (d *Diagram) QueryXY(x, y float64) []int32 {
+	i, j := d.Sub.LocateXY(x, y)
+	return d.results.Result(d.labels[i*d.rows+j])
 }
 
 // Equal reports whether two diagrams assign identical results everywhere.
@@ -66,12 +106,26 @@ func (d *Diagram) Equal(o *Diagram) bool {
 	if d.Sub.Cols() != o.Sub.Cols() || d.Sub.Rows() != o.Sub.Rows() {
 		return false
 	}
-	for k := range d.cells {
-		if !equalIDs(d.cells[k], o.cells[k]) {
-			return false
+	for i := 0; i < d.Sub.Cols(); i++ {
+		for j := 0; j < d.rows; j++ {
+			if !equalIDs(d.Cell(i, j), o.Cell(i, j)) {
+				return false
+			}
 		}
 	}
 	return true
+}
+
+// MemoryFootprint reports the bytes held by the interned representation
+// (labels plus the CSR payload) and what the flat per-subcell [][]int32
+// representation would hold — the E16 space comparison.
+func (d *Diagram) MemoryFootprint() (interned, flat int) {
+	interned = 4*len(d.labels) + d.results.PayloadBytes()
+	const sliceHeader = 24
+	for _, l := range d.labels {
+		flat += sliceHeader + 4*d.results.Len(l)
+	}
+	return interned, flat
 }
 
 // Merge groups the subcells into skyline polyominoes.
@@ -235,6 +289,7 @@ func BuildBaseline(pts []geom.Point) (*Diagram, error) {
 			d.setCell(i, j, sc.idsOf(sc.skyline()))
 		}
 	}
+	d.freeze()
 	return d, nil
 }
 
@@ -306,6 +361,7 @@ func BuildSubset(pts []geom.Point) (*Diagram, error) {
 			d.setCell(i, j, sc.idsOf(sc.skyline()))
 		}
 	}
+	d.freeze()
 	return d, nil
 }
 
@@ -323,6 +379,7 @@ func BuildScanning(pts []geom.Point) (*Diagram, error) {
 	d := newDiagram(pts, sg)
 	if len(pts) == 0 {
 		d.setCell(0, 0, nil)
+		d.freeze()
 		return d, nil
 	}
 	sc := newDynScratch(pts)
@@ -365,5 +422,6 @@ func BuildScanning(pts []geom.Point) (*Diagram, error) {
 			d.setCell(i, j, sc.idsOf(cur))
 		}
 	}
+	d.freeze()
 	return d, nil
 }

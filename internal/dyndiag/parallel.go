@@ -64,6 +64,7 @@ func BuildBaselineParallel(pts []geom.Point, workers int) (*Diagram, error) {
 	}
 	close(cols)
 	wg.Wait()
+	d.freeze()
 	return d, nil
 }
 
@@ -83,6 +84,7 @@ func BuildScanningParallel(pts []geom.Point, workers int) (*Diagram, error) {
 	d := newDiagram(pts, sg)
 	if len(pts) == 0 {
 		d.setCell(0, 0, nil)
+		d.freeze()
 		return d, nil
 	}
 
@@ -140,6 +142,7 @@ func BuildScanningParallel(pts []geom.Point, workers int) (*Diagram, error) {
 	}
 	close(rows)
 	wg.Wait()
+	d.freeze()
 	return d, nil
 }
 
@@ -202,5 +205,6 @@ func BuildSubsetParallel(pts []geom.Point, workers int) (*Diagram, error) {
 	}
 	close(cols)
 	wg.Wait()
+	d.freeze()
 	return d, nil
 }

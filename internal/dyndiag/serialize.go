@@ -5,13 +5,26 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/resultset"
 )
 
 // Export returns the diagram's points and per-subcell results (row-major,
-// cells[i*rows+j]) for serialization. The slices are the diagram's own;
-// callers must treat them as read-only.
+// cells[i*rows+j]) for serialization. The cell slices alias the diagram's
+// arena; callers must treat them as read-only. Empty subcells export as nil.
 func (d *Diagram) Export() (pts []geom.Point, cells [][]int32) {
-	return d.Points, d.cells
+	cells = make([][]int32, len(d.labels))
+	for k, l := range d.labels {
+		if d.results.Len(l) > 0 {
+			cells[k] = d.results.Result(l)
+		}
+	}
+	return d.Points, cells
+}
+
+// ExportCSR returns the diagram's interned form for zero-copy serialization:
+// the row-major per-subcell labels and the shared result table.
+func (d *Diagram) ExportCSR() (labels []uint32, table *resultset.Table) {
+	return d.labels, d.results
 }
 
 // FromCells reconstructs a Diagram from serialized state: the original
@@ -25,6 +38,32 @@ func FromCells(pts []geom.Point, cells [][]int32) (*Diagram, error) {
 		return nil, fmt.Errorf("dyndiag: %d subcells for a %dx%d subgrid", len(cells), sg.Cols(), sg.Rows())
 	}
 	d := newDiagram(pts, sg)
-	copy(d.cells, cells)
+	copy(d.scratch, cells)
+	d.freeze()
 	return d, nil
+}
+
+// FromCSR reconstructs a Diagram from its interned form: the original
+// points, the row-major per-subcell labels, and the shared result table.
+// The labels and table are retained, not copied.
+func FromCSR(pts []geom.Point, labels []uint32, table *resultset.Table) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	sg := grid.NewSubGrid(pts)
+	if len(labels) != sg.NumSubcells() {
+		return nil, fmt.Errorf("dyndiag: %d labels for a %dx%d subgrid", len(labels), sg.Cols(), sg.Rows())
+	}
+	for _, l := range labels {
+		if int(l) >= table.NumResults() {
+			return nil, fmt.Errorf("dyndiag: label %d out of range (%d results)", l, table.NumResults())
+		}
+	}
+	return &Diagram{
+		Points:  pts,
+		Sub:     sg,
+		labels:  labels,
+		results: table,
+		rows:    sg.Rows(),
+	}, nil
 }

@@ -12,8 +12,8 @@ func TestAllExperimentsQuick(t *testing.T) {
 	}
 	c := Config{Quick: true}
 	tables := All(c)
-	if len(tables) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(tables))
+	if len(tables) != len(IDs()) {
+		t.Fatalf("expected %d experiments, got %d", len(IDs()), len(tables))
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 {

@@ -83,10 +83,32 @@ func (g *Grid) Locate(q geom.Point) (i, j int) {
 	return locate(g.Xs, q.X()), locate(g.Ys, q.Y())
 }
 
+// LocateXY is Locate without the geom.Point wrapper — the serving hot path
+// calls it straight from parsed query coordinates.
+func (g *Grid) LocateXY(x, y float64) (i, j int) {
+	return locate(g.Xs, x), locate(g.Ys, y)
+}
+
 // locate returns the number of sorted values <= v, i.e. the index of the
-// cell whose half-open interval [vs[i-1], vs[i]) contains v.
+// cell whose half-open interval [vs[i-1], vs[i]) contains v. It is a
+// closure-free binary search (sort.Search costs an indirect call per probe,
+// which shows up on every query): maintain a window of n candidate answers
+// starting at idx and repeatedly keep whichever half contains the answer.
+// Comparisons against NaN are false, so a NaN query lands in cell 0 — same
+// as sort.Search with this predicate.
 func locate(vs []float64, v float64) int {
-	return sort.Search(len(vs), func(k int) bool { return vs[k] > v })
+	idx, n := 0, len(vs)
+	for n > 1 {
+		half := n >> 1
+		if vs[idx+half-1] <= v {
+			idx += half
+		}
+		n -= half
+	}
+	if n == 1 && vs[idx] <= v {
+		idx++
+	}
+	return idx
 }
 
 // PointsAtUpperRight returns the input points sitting exactly on the
@@ -200,6 +222,11 @@ func (sg *SubGrid) NumSubcells() int { return sg.Cols() * sg.Rows() }
 // Locate returns the subcell indices containing q.
 func (sg *SubGrid) Locate(q geom.Point) (i, j int) {
 	return locate(sg.xs, q.X()), locate(sg.ys, q.Y())
+}
+
+// LocateXY is Locate without the geom.Point wrapper.
+func (sg *SubGrid) LocateXY(x, y float64) (i, j int) {
+	return locate(sg.xs, x), locate(sg.ys, y)
 }
 
 // SubcellRect returns the half-open rectangle of subcell (i,j).

@@ -58,6 +58,7 @@ func BuildBaseline(pts []geom.Point) (*Diagram, error) {
 			d.setCell(i, j, ids)
 		}
 	}
+	d.freeze()
 	return d, nil
 }
 

@@ -8,74 +8,43 @@ import (
 	"repro/internal/polyomino"
 )
 
-// Compact is a space-optimised skyline diagram: instead of one result slice
-// per cell (the O(min(s,n)^2 · n) output representation the paper's space
-// analysis charges), it stores each distinct polyomino's result once and a
-// 4-byte label per cell. Query speed is unchanged — one point location plus
-// one indirection — while memory drops by the average polyomino size times
-// the average result length.
+// Compact is the space-optimised view of a skyline diagram. Historically it
+// deduplicated per-polyomino results itself; the interned CSR table is now
+// the diagram's native representation (every Diagram stores each distinct
+// result once plus a 4-byte label per cell), so Compact is a thin wrapper
+// that adds the polyomino partition on top. It is kept for the E12 space
+// experiment and as the equivalence surface the compact-form tests exercise.
 type Compact struct {
-	Points  []geom.Point
-	Grid    *grid.Grid
-	labels  []int32   // per cell, row-major
-	results [][]int32 // per polyomino label
-	rows    int
+	Points []geom.Point
+	Grid   *grid.Grid
+	d      *Diagram
+	part   *polyomino.Partition
 }
 
-// NewCompact converts a cell-level diagram into its compact form.
+// NewCompact wraps a cell-level diagram with its polyomino partition.
 func NewCompact(d *Diagram) (*Compact, error) {
 	part, err := d.Merge()
 	if err != nil {
 		return nil, err
 	}
-	c := &Compact{
-		Points:  d.Points,
-		Grid:    d.Grid,
-		labels:  part.Labels,
-		results: make([][]int32, part.NumRegions),
-		rows:    d.Grid.Rows(),
-	}
-	seen := make([]bool, part.NumRegions)
-	for i := 0; i < d.Grid.Cols(); i++ {
-		for j := 0; j < d.Grid.Rows(); j++ {
-			l := part.At(i, j)
-			if seen[l] {
-				continue
-			}
-			seen[l] = true
-			c.results[l] = d.Cell(i, j)
-		}
-	}
-	return c, nil
+	return &Compact{Points: d.Points, Grid: d.Grid, d: d, part: part}, nil
 }
 
 // Query answers a quadrant skyline query by point location plus one label
 // indirection.
-func (c *Compact) Query(q geom.Point) []int32 {
-	i, j := c.Grid.Locate(q)
-	return c.results[c.labels[i*c.rows+j]]
-}
+func (c *Compact) Query(q geom.Point) []int32 { return c.d.Query(q) }
 
 // Cell returns the result of cell (i, j).
-func (c *Compact) Cell(i, j int) []int32 {
-	return c.results[c.labels[i*c.rows+j]]
-}
+func (c *Compact) Cell(i, j int) []int32 { return c.d.Cell(i, j) }
 
 // NumPolyominoes returns the number of distinct regions.
-func (c *Compact) NumPolyominoes() int { return len(c.results) }
+func (c *Compact) NumPolyominoes() int { return c.part.NumRegions }
 
-// MemoryFootprint estimates the bytes held by the representation's payload
-// (labels plus distinct results), and what the flat per-cell representation
-// would hold, for the E6-style space comparison.
+// MemoryFootprint estimates the bytes held by the deduplicated
+// representation's payload (labels plus distinct results), and what the flat
+// per-cell representation would hold, for the E6-style space comparison.
 func (c *Compact) MemoryFootprint() (compact, flat int) {
-	compact = 4 * len(c.labels)
-	for _, r := range c.results {
-		compact += sliceBytes(r)
-	}
-	for _, l := range c.labels {
-		flat += sliceBytes(c.results[l])
-	}
-	return compact, flat
+	return c.d.MemoryFootprint()
 }
 
 func sliceBytes(r []int32) int {
@@ -83,7 +52,7 @@ func sliceBytes(r []int32) int {
 	return sliceHeader + 4*len(r)
 }
 
-// Verify checks the compact form against its source diagram cell by cell.
+// Verify checks the compact form against a source diagram cell by cell.
 func (c *Compact) Verify(d *Diagram) error {
 	if c.Grid.Cols() != d.Grid.Cols() || c.Grid.Rows() != d.Grid.Rows() {
 		return fmt.Errorf("quaddiag: compact grid %dx%d vs diagram %dx%d",
@@ -101,11 +70,4 @@ func (c *Compact) Verify(d *Diagram) error {
 }
 
 // Partition exposes the polyomino partition backing the compact form.
-func (c *Compact) Partition() *polyomino.Partition {
-	return &polyomino.Partition{
-		Cols:       c.Grid.Cols(),
-		Rows:       c.Grid.Rows(),
-		Labels:     c.labels,
-		NumRegions: len(c.results),
-	}
-}
+func (c *Compact) Partition() *polyomino.Partition { return c.part }

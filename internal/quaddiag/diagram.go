@@ -20,6 +20,15 @@
 // All cell-level constructions share the Diagram type; Merge converts a
 // Diagram into its polyomino partition. High-dimensional variants live in
 // highdim.go.
+//
+// Diagrams are built in two phases. The constructions fill a scratch
+// [][]int32 exactly as the paper's algorithms describe (the parallel builders
+// write distinct scratch cells from several goroutines, so no shared
+// structure may be touched during this phase); every public Build* then
+// freezes the scratch into the interned CSR form of package resultset — one
+// uint32 label per cell plus a shared arena — which is the only
+// representation readers ever see. Queries are point location plus one label
+// indirection returning an arena subslice: zero allocations.
 package quaddiag
 
 import (
@@ -29,6 +38,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/polyomino"
+	"repro/internal/resultset"
 	"repro/internal/skyline"
 )
 
@@ -37,31 +47,70 @@ import (
 type Diagram struct {
 	Points []geom.Point
 	Grid   *grid.Grid
-	// cells[i*rows+j] is the ascending id list of Sky(C(i,j)).
-	cells [][]int32
-	rows  int
+	byID   map[int32]geom.Point
+	// scratch[i*rows+j] is the ascending id list of Sky(C(i,j)) during
+	// construction; freeze() interns it into labels/results and drops it.
+	scratch [][]int32
+	labels  []uint32
+	results *resultset.Table
+	rows    int
 }
 
 func newDiagram(pts []geom.Point, g *grid.Grid) *Diagram {
 	return &Diagram{
-		Points: pts,
-		Grid:   g,
-		cells:  make([][]int32, g.Cols()*g.Rows()),
-		rows:   g.Rows(),
+		Points:  pts,
+		Grid:    g,
+		byID:    pointIndex(pts),
+		scratch: make([][]int32, g.Cols()*g.Rows()),
+		rows:    g.Rows(),
 	}
 }
 
-// Cell returns the skyline ids of cell (i, j), ascending. The slice is owned
-// by the diagram; callers must not modify it.
-func (d *Diagram) Cell(i, j int) []int32 { return d.cells[i*d.rows+j] }
+// freeze interns every scratch cell into the CSR table. Idempotent; called by
+// every public constructor before the diagram is handed out. Must not run
+// concurrently with setCell.
+func (d *Diagram) freeze() {
+	if d.results != nil {
+		return
+	}
+	in := resultset.NewInterner()
+	d.labels = make([]uint32, len(d.scratch))
+	for k, ids := range d.scratch {
+		d.labels[k] = in.Intern(ids)
+	}
+	d.results = in.Table()
+	d.scratch = nil
+}
 
-func (d *Diagram) setCell(i, j int, ids []int32) { d.cells[i*d.rows+j] = ids }
+// Cell returns the skyline ids of cell (i, j), ascending. The slice aliases
+// diagram-owned storage; callers must not modify it.
+func (d *Diagram) Cell(i, j int) []int32 {
+	if d.results != nil {
+		return d.results.Result(d.labels[i*d.rows+j])
+	}
+	return d.scratch[i*d.rows+j]
+}
+
+func (d *Diagram) setCell(i, j int, ids []int32) { d.scratch[i*d.rows+j] = ids }
+
+// Label returns the interned result label of cell (i, j).
+func (d *Diagram) Label(i, j int) uint32 { return d.labels[i*d.rows+j] }
+
+// Results exposes the frozen interned result table backing the diagram.
+func (d *Diagram) Results() *resultset.Table { return d.results }
 
 // Query answers a quadrant (or global, depending on how the diagram was
 // built) skyline query by point location: O(log n) search plus output size.
 func (d *Diagram) Query(q geom.Point) []int32 {
 	i, j := d.Grid.Locate(q)
-	return d.Cell(i, j)
+	return d.results.Result(d.labels[i*d.rows+j])
+}
+
+// QueryXY is Query without the geom.Point wrapper — the serving hot path.
+// Zero allocations: point location plus one label indirection into the arena.
+func (d *Diagram) QueryXY(x, y float64) []int32 {
+	i, j := d.Grid.LocateXY(x, y)
+	return d.results.Result(d.labels[i*d.rows+j])
 }
 
 // QueryPoints resolves Query ids back to points.
@@ -69,15 +118,12 @@ func (d *Diagram) QueryPoints(q geom.Point) []geom.Point {
 	return d.Resolve(d.Query(q))
 }
 
-// Resolve maps ids to the corresponding points.
+// Resolve maps ids to the corresponding points through the index built at
+// construction time.
 func (d *Diagram) Resolve(ids []int32) []geom.Point {
-	byID := make(map[int32]geom.Point, len(d.Points))
-	for _, p := range d.Points {
-		byID[int32(p.ID)] = p
-	}
 	out := make([]geom.Point, 0, len(ids))
 	for _, id := range ids {
-		if p, ok := byID[id]; ok {
+		if p, ok := d.byID[id]; ok {
 			out = append(out, p)
 		}
 	}
@@ -89,9 +135,11 @@ func (d *Diagram) Equal(o *Diagram) bool {
 	if d.Grid.Cols() != o.Grid.Cols() || d.Grid.Rows() != o.Grid.Rows() {
 		return false
 	}
-	for k := range d.cells {
-		if !equalIDs(d.cells[k], o.cells[k]) {
-			return false
+	for i := 0; i < d.Grid.Cols(); i++ {
+		for j := 0; j < d.rows; j++ {
+			if !equalIDs(d.Cell(i, j), o.Cell(i, j)) {
+				return false
+			}
 		}
 	}
 	return true
@@ -114,6 +162,17 @@ func (d *Diagram) Merge() (*polyomino.Partition, error) {
 	return polyomino.MergeCells(d.Grid.Cols(), d.Grid.Rows(), d.Cell)
 }
 
+// MemoryFootprint reports the bytes held by the interned representation
+// (labels plus the CSR payload) and what the flat per-cell [][]int32
+// representation would hold — the E16 space comparison.
+func (d *Diagram) MemoryFootprint() (interned, flat int) {
+	interned = 4*len(d.labels) + d.results.PayloadBytes()
+	for _, l := range d.labels {
+		flat += sliceBytes(d.results.Result(l))
+	}
+	return interned, flat
+}
+
 // Stats summarises a diagram for the E6 experiment table.
 type Stats struct {
 	N           int
@@ -130,17 +189,18 @@ func (d *Diagram) ComputeStats() (Stats, error) {
 		return Stats{}, err
 	}
 	var sum, max int
-	for _, c := range d.cells {
-		sum += len(c)
-		if len(c) > max {
-			max = len(c)
+	for _, l := range d.labels {
+		n := d.results.Len(l)
+		sum += n
+		if n > max {
+			max = n
 		}
 	}
 	return Stats{
 		N:           len(d.Points),
-		Cells:       len(d.cells),
+		Cells:       len(d.labels),
 		Polyominoes: part.NumRegions,
-		AvgSkySize:  float64(sum) / float64(len(d.cells)),
+		AvgSkySize:  float64(sum) / float64(len(d.labels)),
 		MaxSkySize:  max,
 	}, nil
 }

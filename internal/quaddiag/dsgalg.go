@@ -51,6 +51,7 @@ func buildDSGWith(pts []geom.Point, buildGraph func([]geom.Point) *dsg.Graph) (*
 	d := newDiagram(pts, g)
 	if len(pts) == 0 {
 		d.setCell(0, 0, nil)
+		d.freeze()
 		return d, nil
 	}
 	graph := buildGraph(pts)
@@ -85,6 +86,7 @@ func buildDSGWith(pts []geom.Point, buildGraph func([]geom.Point) *dsg.Graph) (*
 			}
 		}
 	}
+	d.freeze()
 	return d, nil
 }
 

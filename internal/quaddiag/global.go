@@ -4,6 +4,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/polyomino"
+	"repro/internal/resultset"
 )
 
 // GlobalDiagram is the skyline diagram for global skyline queries: per cell,
@@ -14,7 +15,8 @@ type GlobalDiagram struct {
 	Points    []geom.Point
 	Grid      *grid.Grid
 	Quadrants [4]*Diagram // index = reflection mask; cells already remapped
-	cells     [][]int32
+	labels    []uint32
+	results   *resultset.Table
 	rows      int
 }
 
@@ -31,7 +33,6 @@ func BuildGlobal(pts []geom.Point, alg Algorithm) (*GlobalDiagram, error) {
 	gd := &GlobalDiagram{
 		Points: pts,
 		Grid:   g,
-		cells:  make([][]int32, g.Cols()*g.Rows()),
 		rows:   g.Rows(),
 	}
 	for mask := 0; mask < 4; mask++ {
@@ -41,24 +42,42 @@ func BuildGlobal(pts []geom.Point, alg Algorithm) (*GlobalDiagram, error) {
 		}
 		gd.Quadrants[mask] = remap(rd, pts, g, mask)
 	}
+	gd.mergeQuadrants()
+	return gd, nil
+}
+
+// mergeQuadrants fills the global per-cell results from the four remapped
+// quadrant diagrams, interning the merged lists into the global table.
+func (gd *GlobalDiagram) mergeQuadrants() {
+	g := gd.Grid
+	in := resultset.NewInterner()
+	gd.labels = make([]uint32, g.Cols()*g.Rows())
 	for i := 0; i < g.Cols(); i++ {
 		for j := 0; j < g.Rows(); j++ {
 			merged := gd.Quadrants[0].Cell(i, j)
 			for mask := 1; mask < 4; mask++ {
 				merged = mergeDisjoint(merged, gd.Quadrants[mask].Cell(i, j))
 			}
-			gd.cells[i*gd.rows+j] = merged
+			gd.labels[i*gd.rows+j] = in.Intern(merged)
 		}
 	}
-	return gd, nil
+	gd.results = in.Table()
 }
 
 // remap rebuilds a reflected quadrant diagram on the original grid: cell
 // (i, j) of the result holds the reflected diagram's cell, with each axis
-// index flipped when that axis was reflected.
+// index flipped when that axis was reflected. Pure label permutation — the
+// remapped diagram shares the reflected diagram's interned table.
 func remap(rd *Diagram, pts []geom.Point, g *grid.Grid, mask int) *Diagram {
-	out := newDiagram(pts, g)
 	cols, rows := g.Cols(), g.Rows()
+	out := &Diagram{
+		Points:  pts,
+		Grid:    g,
+		byID:    pointIndex(pts),
+		labels:  make([]uint32, cols*rows),
+		results: rd.results,
+		rows:    rows,
+	}
 	for i := 0; i < cols; i++ {
 		for j := 0; j < rows; j++ {
 			ri, rj := i, j
@@ -68,7 +87,7 @@ func remap(rd *Diagram, pts []geom.Point, g *grid.Grid, mask int) *Diagram {
 			if mask&2 != 0 {
 				rj = rows - 1 - j
 			}
-			out.setCell(i, j, rd.Cell(ri, rj))
+			out.labels[i*rows+j] = rd.labels[ri*rows+rj]
 		}
 	}
 	return out
@@ -99,13 +118,27 @@ func mergeDisjoint(a, b []int32) []int32 {
 }
 
 // Cell returns the global skyline ids of cell (i, j), ascending.
-func (gd *GlobalDiagram) Cell(i, j int) []int32 { return gd.cells[i*gd.rows+j] }
+func (gd *GlobalDiagram) Cell(i, j int) []int32 {
+	return gd.results.Result(gd.labels[i*gd.rows+j])
+}
 
 // Query answers a global skyline query by point location.
 func (gd *GlobalDiagram) Query(q geom.Point) []int32 {
 	i, j := gd.Grid.Locate(q)
-	return gd.Cell(i, j)
+	return gd.results.Result(gd.labels[i*gd.rows+j])
 }
+
+// QueryXY is Query without the geom.Point wrapper — the serving hot path.
+func (gd *GlobalDiagram) QueryXY(x, y float64) []int32 {
+	i, j := gd.Grid.LocateXY(x, y)
+	return gd.results.Result(gd.labels[i*gd.rows+j])
+}
+
+// Results exposes the frozen interned result table backing the diagram.
+func (gd *GlobalDiagram) Results() *resultset.Table { return gd.results }
+
+// Label returns the interned result label of cell (i, j).
+func (gd *GlobalDiagram) Label(i, j int) uint32 { return gd.labels[i*gd.rows+j] }
 
 // QuadrantCell returns the quadrant-mask component of cell (i, j).
 func (gd *GlobalDiagram) QuadrantCell(mask, i, j int) []int32 {

@@ -69,6 +69,7 @@ func BuildBaselineParallel(pts []geom.Point, workers int) (*Diagram, error) {
 	}
 	close(cols)
 	wg.Wait()
+	d.freeze()
 	return d, nil
 }
 
@@ -143,6 +144,7 @@ func BuildScanningParallel(pts []geom.Point, workers int) (*Diagram, error) {
 	}
 	close(cols)
 	wg.Wait()
+	d.freeze()
 	return d, nil
 }
 
@@ -214,7 +216,6 @@ func BuildGlobalParallel(pts []geom.Point, alg Algorithm, workers int) (*GlobalD
 	gd := &GlobalDiagram{
 		Points: pts,
 		Grid:   g,
-		cells:  make([][]int32, g.Cols()*g.Rows()),
 		rows:   g.Rows(),
 	}
 	var wg sync.WaitGroup
@@ -237,14 +238,6 @@ func BuildGlobalParallel(pts []geom.Point, alg Algorithm, workers int) (*GlobalD
 			return nil, err
 		}
 	}
-	for i := 0; i < g.Cols(); i++ {
-		for j := 0; j < g.Rows(); j++ {
-			merged := gd.Quadrants[0].Cell(i, j)
-			for mask := 1; mask < 4; mask++ {
-				merged = mergeDisjoint(merged, gd.Quadrants[mask].Cell(i, j))
-			}
-			gd.cells[i*gd.rows+j] = merged
-		}
-	}
+	gd.mergeQuadrants()
 	return gd, nil
 }

@@ -46,6 +46,7 @@ func BuildScanning(pts []geom.Point) (*Diagram, error) {
 			d.setCell(i, j, mergeSubtract(d.Cell(i+1, j), d.Cell(i, j+1), d.Cell(i+1, j+1)))
 		}
 	}
+	d.freeze()
 	return d, nil
 }
 

@@ -5,13 +5,27 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/resultset"
 )
 
 // Export returns the diagram's points and per-cell results (row-major,
-// cells[i*rows+j]) for serialization. The slices are the diagram's own;
-// callers must treat them as read-only.
+// cells[i*rows+j]) for serialization. The cell slices alias the diagram's
+// arena; callers must treat them as read-only. Empty cells export as nil,
+// matching the construction-time representation.
 func (d *Diagram) Export() (pts []geom.Point, cells [][]int32) {
-	return d.Points, d.cells
+	cells = make([][]int32, len(d.labels))
+	for k, l := range d.labels {
+		if d.results.Len(l) > 0 {
+			cells[k] = d.results.Result(l)
+		}
+	}
+	return d.Points, cells
+}
+
+// ExportCSR returns the diagram's interned form for zero-copy serialization:
+// the row-major per-cell labels and the shared result table.
+func (d *Diagram) ExportCSR() (labels []uint32, table *resultset.Table) {
+	return d.labels, d.results
 }
 
 // FromCells reconstructs a Diagram from serialized state: the original
@@ -26,6 +40,33 @@ func FromCells(pts []geom.Point, cells [][]int32) (*Diagram, error) {
 		return nil, fmt.Errorf("quaddiag: %d cells for a %dx%d grid", len(cells), g.Cols(), g.Rows())
 	}
 	d := newDiagram(pts, g)
-	copy(d.cells, cells)
+	copy(d.scratch, cells)
+	d.freeze()
 	return d, nil
+}
+
+// FromCSR reconstructs a Diagram from its interned form: the original
+// points, the row-major per-cell labels, and the shared result table. The
+// labels and table are retained, not copied.
+func FromCSR(pts []geom.Point, labels []uint32, table *resultset.Table) (*Diagram, error) {
+	if err := require2D(pts); err != nil {
+		return nil, err
+	}
+	g := grid.NewGrid(pts)
+	if len(labels) != g.NumCells() {
+		return nil, fmt.Errorf("quaddiag: %d labels for a %dx%d grid", len(labels), g.Cols(), g.Rows())
+	}
+	for _, l := range labels {
+		if int(l) >= table.NumResults() {
+			return nil, fmt.Errorf("quaddiag: label %d out of range (%d results)", l, table.NumResults())
+		}
+	}
+	return &Diagram{
+		Points:  pts,
+		Grid:    g,
+		byID:    pointIndex(pts),
+		labels:  labels,
+		results: table,
+		rows:    g.Rows(),
+	}, nil
 }

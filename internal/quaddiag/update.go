@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/grid"
+	"repro/internal/resultset"
 )
 
 // Incremental maintenance. The paper builds diagrams statically; these
@@ -24,6 +25,12 @@ import (
 //     the dominance graph; a linear rescan of O(rank_x · rank_y) cells is
 //     the simple robust choice).
 //
+// Both are copy-on-write over the interned table: the new diagram's interner
+// is seeded from the old table (shared arena, no copying), unaffected cells
+// carry their labels over in O(1), and only affected cells pay an intern.
+// Results no longer referenced by any cell stay in the shared arena as
+// garbage; the periodic full rebuild (or any fresh Build*) compacts it.
+//
 // Both return a new Diagram; the receiver is unchanged.
 
 // WithInsert returns the diagram of Points ∪ {p}.
@@ -41,22 +48,29 @@ func (d *Diagram) WithInsert(p geom.Point) (*Diagram, error) {
 	pts[len(d.Points)] = p
 
 	g := grid.NewGrid(pts)
-	nd := newDiagram(pts, g)
-	byID := pointIndex(d.Points)
+	in := resultset.NewInternerFrom(d.results)
+	nd := &Diagram{
+		Points: pts,
+		Grid:   g,
+		byID:   pointIndex(pts),
+		labels: make([]uint32, g.Cols()*g.Rows()),
+		rows:   g.Rows(),
+	}
 	for i := 0; i < g.Cols(); i++ {
 		for j := 0; j < g.Rows(); j++ {
 			cx, cy := g.Corner(i, j)
 			// Old lines ⊆ new lines: exactly one old cell contains this one.
 			oi := countLE(d.Grid.Xs, cx)
 			oj := countLE(d.Grid.Ys, cy)
-			old := d.Cell(oi, oj)
+			oldLabel := d.labels[oi*d.rows+oj]
 			if !(p.X() > cx && p.Y() > cy) {
-				nd.setCell(i, j, old) // p is not a candidate here
+				nd.labels[i*nd.rows+j] = oldLabel // p is not a candidate here
 				continue
 			}
-			nd.setCell(i, j, insertIntoResult(byID, old, p))
+			nd.labels[i*nd.rows+j] = in.Intern(insertIntoResult(d.byID, d.results.Result(oldLabel), p))
 		}
 	}
+	nd.results = in.Table()
 	return nd, nil
 }
 
@@ -104,12 +118,19 @@ func (d *Diagram) WithDelete(id int) (*Diagram, error) {
 		return nil, fmt.Errorf("quaddiag: delete: id %d not present", id)
 	}
 	g := grid.NewGrid(pts)
-	nd := newDiagram(pts, g)
+	in := resultset.NewInternerFrom(d.results)
+	nd := &Diagram{
+		Points: pts,
+		Grid:   g,
+		byID:   pointIndex(pts),
+		labels: make([]uint32, g.Cols()*g.Rows()),
+		rows:   g.Rows(),
+	}
 
-	// Pass 1: copy every unaffected cell. New lines ⊆ old lines, and any old
-	// cell inside a new one carries the same (unchanged) result — the halves
-	// across the removed point's lines can only differ where the removed
-	// point was a candidate.
+	// Pass 1: copy every unaffected cell's label. New lines ⊆ old lines, and
+	// any old cell inside a new one carries the same (unchanged) result — the
+	// halves across the removed point's lines can only differ where the
+	// removed point was a candidate.
 	iMax := countLT(g.Xs, removed.X())
 	jMax := countLT(g.Ys, removed.Y())
 	for i := 0; i < g.Cols(); i++ {
@@ -120,30 +141,34 @@ func (d *Diagram) WithDelete(id int) (*Diagram, error) {
 			cx, cy := g.Corner(i, j)
 			oi := countLE(d.Grid.Xs, cx)
 			oj := countLE(d.Grid.Ys, cy)
-			nd.setCell(i, j, d.Cell(oi, oj))
+			nd.labels[i*nd.rows+j] = d.labels[oi*d.rows+oj]
 		}
 	}
 	// Pass 2: recompute the affected lower-left rectangle with the Theorem 1
 	// identity, top-right to bottom-left. Every up/right neighbour is either
 	// unaffected (copied in pass 1) or already recomputed, and out-of-range
 	// neighbours are empty — exactly the scanning construction restricted to
-	// the removed point's influence region.
+	// the removed point's influence region. Cells are read back through the
+	// interner, which resolves both copied and freshly interned labels.
 	byXY := grid.IndexByCoords(pts)
 	cellOrNil := func(i, j int) []int32 {
 		if i >= g.Cols() || j >= g.Rows() {
 			return nil
 		}
-		return nd.Cell(i, j)
+		return in.Result(nd.labels[i*nd.rows+j])
 	}
 	for i := iMax; i >= 0; i-- {
 		for j := jMax; j >= 0; j-- {
+			var ids []int32
 			if ps := g.PointsAtUpperRight(i, j, byXY); len(ps) > 0 {
-				nd.setCell(i, j, sortedIDs(ps))
-				continue
+				ids = sortedIDs(ps)
+			} else {
+				ids = mergeSubtract(cellOrNil(i+1, j), cellOrNil(i, j+1), cellOrNil(i+1, j+1))
 			}
-			nd.setCell(i, j, mergeSubtract(cellOrNil(i+1, j), cellOrNil(i, j+1), cellOrNil(i+1, j+1)))
+			nd.labels[i*nd.rows+j] = in.Intern(ids)
 		}
 	}
+	nd.results = in.Table()
 	return nd, nil
 }
 

@@ -1,0 +1,180 @@
+// Package resultset provides the interned CSR (compressed sparse row)
+// representation shared by every skyline diagram kind: all distinct per-cell
+// result lists are hash-consed into a single int32 arena addressed through an
+// offsets table, and each cell stores only a 4-byte label.
+//
+// The paper's space analysis charges O(min(s,n)^2 · n) for the per-cell
+// output representation, but the polyomino structure of the diagram
+// (Theorem 2) means adjacent cells overwhelmingly share identical results —
+// the number of DISTINCT results is bounded by the polyomino count, which is
+// orders of magnitude below the cell count at realistic sizes. Interning
+// turns the per-cell cost into one uint32, and a query into point location
+// plus one offsets indirection returning a subslice of the arena: zero
+// allocations on the read path.
+//
+// Two types:
+//
+//   - Interner: the build-time hash-consing structure. Intern(ids) returns a
+//     stable label; identical contents always map to the same label.
+//   - Table: the frozen, immutable serving form — just the arena and the
+//     offsets. Result(label) is two loads and a subslice.
+//
+// Copy-on-write maintenance (diagram insert/delete) seeds a new Interner
+// from an existing Table with NewInternerFrom: the arena prefix is shared
+// (capacity-clamped, so appends copy instead of clobbering), untouched cells
+// keep their old labels for free, and only touched cells pay an intern.
+package resultset
+
+// Table is a frozen interned result table: result label l spans
+// ids[offsets[l]:offsets[l+1]].
+type Table struct {
+	ids     []int32
+	offsets []uint32 // len = NumResults()+1, offsets[0] == 0, ascending
+}
+
+// NewTable assembles a table from raw CSR arrays, validating the structural
+// invariants (used by deserializers; Interner-built tables hold them by
+// construction). The slices are retained, not copied.
+func NewTable(offsets []uint32, ids []int32) (*Table, bool) {
+	if len(offsets) == 0 || offsets[0] != 0 {
+		return nil, false
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return nil, false
+		}
+	}
+	if int(offsets[len(offsets)-1]) != len(ids) {
+		return nil, false
+	}
+	return &Table{ids: ids, offsets: offsets}, true
+}
+
+// NumResults returns the number of distinct interned results.
+func (t *Table) NumResults() int { return len(t.offsets) - 1 }
+
+// Result returns the id list of the given label. The slice aliases the
+// arena and must not be modified; the capacity is clamped so an append by a
+// careless caller cannot clobber a neighbouring result.
+func (t *Table) Result(label uint32) []int32 {
+	lo, hi := t.offsets[label], t.offsets[label+1]
+	return t.ids[lo:hi:hi]
+}
+
+// Len returns the length of the given label's result without materializing
+// the subslice.
+func (t *Table) Len(label uint32) int {
+	return int(t.offsets[label+1] - t.offsets[label])
+}
+
+// ArenaLen returns the total number of ids in the arena.
+func (t *Table) ArenaLen() int { return len(t.ids) }
+
+// Offsets exposes the raw offsets array for serialization. Read-only.
+func (t *Table) Offsets() []uint32 { return t.offsets }
+
+// IDs exposes the raw arena for serialization. Read-only.
+func (t *Table) IDs() []int32 { return t.ids }
+
+// PayloadBytes returns the bytes held by the table's payload (arena plus
+// offsets), for space accounting.
+func (t *Table) PayloadBytes() int { return 4*len(t.ids) + 4*len(t.offsets) }
+
+// fnv-1a over the little-endian bytes of each id.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashIDs(ids []int32) uint64 {
+	h := uint64(fnvOffset)
+	for _, id := range ids {
+		x := uint32(id)
+		h = (h ^ uint64(x&0xff)) * fnvPrime
+		h = (h ^ uint64((x>>8)&0xff)) * fnvPrime
+		h = (h ^ uint64((x>>16)&0xff)) * fnvPrime
+		h = (h ^ uint64(x>>24)) * fnvPrime
+	}
+	return h
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Interner hash-conses id lists into a growing CSR table.
+type Interner struct {
+	ids     []int32
+	offsets []uint32
+	index   map[uint64][]uint32 // content hash -> candidate labels
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{
+		offsets: []uint32{0},
+		index:   make(map[uint64][]uint32),
+	}
+}
+
+// NewInternerFrom seeds an interner with every result of an existing table.
+// The arena is shared, not copied: the slices are capacity-clamped so the
+// first append reallocates instead of overwriting the source table. Existing
+// labels stay valid, so copy-on-write callers can carry unchanged cells'
+// labels over verbatim and intern only the cells they touched.
+func NewInternerFrom(t *Table) *Interner {
+	in := &Interner{
+		ids:     t.ids[:len(t.ids):len(t.ids)],
+		offsets: t.offsets[:len(t.offsets):len(t.offsets)],
+		index:   make(map[uint64][]uint32, t.NumResults()),
+	}
+	for l := 0; l < t.NumResults(); l++ {
+		h := hashIDs(t.Result(uint32(l)))
+		in.index[h] = append(in.index[h], uint32(l))
+	}
+	return in
+}
+
+// Intern returns the label of ids, appending it to the arena if its content
+// has not been seen before. nil and empty slices intern to the same label.
+func (in *Interner) Intern(ids []int32) uint32 {
+	h := hashIDs(ids)
+	for _, l := range in.index[h] {
+		if equalIDs(in.Result(l), ids) {
+			return l
+		}
+	}
+	label := uint32(len(in.offsets) - 1)
+	in.ids = append(in.ids, ids...)
+	in.offsets = append(in.offsets, uint32(len(in.ids)))
+	in.index[h] = append(in.index[h], label)
+	return label
+}
+
+// Result returns the id list of an already-interned label. Like
+// Table.Result, the slice aliases the arena and must not be modified.
+func (in *Interner) Result(label uint32) []int32 {
+	lo, hi := in.offsets[label], in.offsets[label+1]
+	return in.ids[lo:hi:hi]
+}
+
+// NumResults returns the number of distinct results interned so far.
+func (in *Interner) NumResults() int { return len(in.offsets) - 1 }
+
+// Table freezes the interner's current contents into an immutable Table.
+// The arena is shared; the interner may keep interning afterwards without
+// invalidating the returned table.
+func (in *Interner) Table() *Table {
+	return &Table{
+		ids:     in.ids[:len(in.ids):len(in.ids)],
+		offsets: in.offsets[:len(in.offsets):len(in.offsets)],
+	}
+}

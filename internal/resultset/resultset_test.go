@@ -1,0 +1,160 @@
+package resultset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInternDedupes(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern([]int32{1, 2, 3})
+	b := in.Intern([]int32{4})
+	a2 := in.Intern([]int32{1, 2, 3})
+	if a != a2 {
+		t.Fatalf("identical content got labels %d and %d", a, a2)
+	}
+	if a == b {
+		t.Fatalf("distinct content shares label %d", a)
+	}
+	if got := in.NumResults(); got != 2 {
+		t.Fatalf("NumResults = %d, want 2", got)
+	}
+	if r := in.Result(a); !equalIDs(r, []int32{1, 2, 3}) {
+		t.Fatalf("Result(a) = %v", r)
+	}
+}
+
+func TestInternEmptyAndNil(t *testing.T) {
+	in := NewInterner()
+	e1 := in.Intern(nil)
+	e2 := in.Intern([]int32{})
+	if e1 != e2 {
+		t.Fatalf("nil and empty intern to %d and %d", e1, e2)
+	}
+	tbl := in.Table()
+	if got := tbl.Result(e1); len(got) != 0 {
+		t.Fatalf("empty result has length %d", len(got))
+	}
+	if tbl.Len(e1) != 0 {
+		t.Fatalf("Len = %d", tbl.Len(e1))
+	}
+}
+
+func TestTableResultAliasesArena(t *testing.T) {
+	in := NewInterner()
+	l := in.Intern([]int32{7, 8})
+	in.Intern([]int32{9})
+	tbl := in.Table()
+	r := tbl.Result(l)
+	// Capacity clamp: appending to a result must not clobber the neighbour.
+	r = append(r, 999)
+	if got := tbl.Result(uint32(1)); !equalIDs(got, []int32{9}) {
+		t.Fatalf("append to a result clobbered the arena: %v", got)
+	}
+	_ = r
+}
+
+func TestNewInternerFromSharesAndExtends(t *testing.T) {
+	in := NewInterner()
+	l1 := in.Intern([]int32{1, 2})
+	l2 := in.Intern([]int32{3})
+	base := in.Table()
+
+	cow := NewInternerFrom(base)
+	// Existing contents resolve to their old labels.
+	if got := cow.Intern([]int32{1, 2}); got != l1 {
+		t.Fatalf("reintern of existing content: label %d, want %d", got, l1)
+	}
+	// New content extends without disturbing the base table.
+	l3 := cow.Intern([]int32{4, 5, 6})
+	if l3 == l1 || l3 == l2 {
+		t.Fatalf("new content reused label %d", l3)
+	}
+	if base.NumResults() != 2 {
+		t.Fatalf("base table grew to %d results", base.NumResults())
+	}
+	if got := base.Result(l1); !equalIDs(got, []int32{1, 2}) {
+		t.Fatalf("base arena corrupted: %v", got)
+	}
+	if got := cow.Result(l3); !equalIDs(got, []int32{4, 5, 6}) {
+		t.Fatalf("cow Result = %v", got)
+	}
+}
+
+func TestNewTableValidates(t *testing.T) {
+	if _, ok := NewTable([]uint32{0, 2, 5}, []int32{1, 2, 3, 4, 5}); !ok {
+		t.Fatal("valid table rejected")
+	}
+	if _, ok := NewTable(nil, nil); ok {
+		t.Fatal("empty offsets accepted")
+	}
+	if _, ok := NewTable([]uint32{1, 2}, []int32{9, 9}); ok {
+		t.Fatal("offsets[0] != 0 accepted")
+	}
+	if _, ok := NewTable([]uint32{0, 3, 2}, []int32{1, 2}); ok {
+		t.Fatal("descending offsets accepted")
+	}
+	if _, ok := NewTable([]uint32{0, 2}, []int32{1, 2, 3}); ok {
+		t.Fatal("arena length mismatch accepted")
+	}
+}
+
+func TestInternRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := NewInterner()
+	byContent := map[string]uint32{}
+	key := func(ids []int32) string {
+		b := make([]byte, 0, 4*len(ids))
+		for _, id := range ids {
+			b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		return string(b)
+	}
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(8)
+		ids := make([]int32, n)
+		for j := range ids {
+			ids[j] = int32(rng.Intn(12))
+		}
+		l := in.Intern(ids)
+		k := key(ids)
+		if want, ok := byContent[k]; ok {
+			if l != want {
+				t.Fatalf("content %v: label %d, previously %d", ids, l, want)
+			}
+		} else {
+			byContent[k] = l
+		}
+		if got := in.Result(l); !equalIDs(got, ids) {
+			t.Fatalf("Result(%d) = %v, want %v", l, got, ids)
+		}
+	}
+	if in.NumResults() != len(byContent) {
+		t.Fatalf("NumResults = %d, distinct contents = %d", in.NumResults(), len(byContent))
+	}
+	// The frozen table agrees everywhere.
+	tbl := in.Table()
+	for k, l := range byContent {
+		want := make([]int32, 0, len(k)/4)
+		for i := 0; i < len(k); i += 4 {
+			want = append(want, int32(uint32(k[i])|uint32(k[i+1])<<8|uint32(k[i+2])<<16|uint32(k[i+3])<<24))
+		}
+		if got := tbl.Result(l); !equalIDs(got, want) {
+			t.Fatalf("table Result(%d) = %v, want %v", l, got, want)
+		}
+	}
+}
+
+func TestZeroAllocResult(t *testing.T) {
+	in := NewInterner()
+	for i := 0; i < 64; i++ {
+		in.Intern([]int32{int32(i), int32(i + 1)})
+	}
+	tbl := in.Table()
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = tbl.Result(17)
+	})
+	if allocs != 0 {
+		t.Fatalf("Table.Result allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"math"
+	"strconv"
+	"sync"
+)
+
+// Pooled append-based JSON encoding for the two hot read endpoints. The
+// generic encoding/json path allocates per response (reflection scratch,
+// intermediate slices, the encoder itself); the query handlers instead append
+// into a pooled buffer using precomputed per-point fragments, so a cache-warm
+// query performs zero heap allocations after routing. Byte-for-byte output
+// compatibility with encoding/json (including the trailing newline
+// json.Encoder emits) is pinned by TestEncodeMatchesEncodingJSON.
+
+// bufPool recycles response buffers. Stored as *[]byte so Put does not
+// allocate an interface box; buffers keep whatever capacity they grew to, so
+// steady-state traffic stops allocating once the pool is warm.
+var bufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getBuf() *[]byte   { return bufPool.Get().(*[]byte) }
+func putBuf(bp *[]byte) { *bp = (*bp)[:0]; bufPool.Put(bp) }
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest round-trip form, 'f' notation inside [1e-6, 1e21), 'e' notation
+// outside with the exponent's leading zero stripped.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims "e-09" to "e-9".
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendSkylineResponse renders the single-query response. kind must already
+// be normalized (it is embedded without escaping), ids may alias a diagram
+// arena (read only), and every id must have a fragment in frags — both are
+// derived from the same immutable snapshot, so lookups cannot miss.
+func appendSkylineResponse(b []byte, kind string, x, y float64, ids []int32, frags map[int32][]byte) []byte {
+	b = append(b, `{"kind":"`...)
+	b = append(b, kind...)
+	b = append(b, `","query":[`...)
+	b = appendJSONFloat(b, x)
+	b = append(b, ',')
+	b = appendJSONFloat(b, y)
+	b = append(b, `],"ids":[`...)
+	for i, id := range ids {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(id), 10)
+	}
+	b = append(b, `],"points":[`...)
+	for i, id := range ids {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, frags[id]...)
+	}
+	b = append(b, "]}\n"...)
+	return b
+}
+
+// appendBatchResponse renders the batch response, answering each query
+// through answer while encoding — no intermediate result slice is built.
+func appendBatchResponse(b []byte, kind string, queries [][]float64, answer func(x, y float64) []int32) []byte {
+	b = append(b, `{"kind":"`...)
+	b = append(b, kind...)
+	b = append(b, `","count":`...)
+	b = strconv.AppendInt(b, int64(len(queries)), 10)
+	b = append(b, `,"results":[`...)
+	for i, q := range queries {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"query":[`...)
+		b = appendJSONFloat(b, q[0])
+		b = append(b, ',')
+		b = appendJSONFloat(b, q[1])
+		b = append(b, `],"ids":[`...)
+		for k, id := range answer(q[0], q[1]) {
+			if k > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(id), 10)
+		}
+		b = append(b, "]}"...)
+	}
+	b = append(b, "]}\n"...)
+	return b
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// trickyFloats are the values where encoding/json's float rendering has
+// special cases: format switchover at 1e-6 and 1e21, exponent zero-stripping,
+// negative zero, and shortest-round-trip precision.
+var trickyFloats = []float64{
+	0, math.Copysign(0, -1), 1, -1, 10.5, -2.25,
+	1e-6, 9.999999e-7, 5e-7, 1e21, 9.99e20, 1.5e21,
+	1e-9, -3e-9, 2.2250738585072014e-308, 1.7976931348623157e308,
+	0.1, 1.0 / 3.0, 100, 80,
+}
+
+func TestEncodeMatchesEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	floats := append([]float64(nil), trickyFloats...)
+	for i := 0; i < 200; i++ {
+		floats = append(floats, (rng.Float64()-0.5)*math.Pow(10, float64(rng.Intn(50)-25)))
+	}
+
+	// appendJSONFloat against json.Marshal for every value.
+	for _, f := range floats {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, f); !bytes.Equal(got, want) {
+			t.Fatalf("float %v: got %q, want %q", f, got, want)
+		}
+	}
+
+	// Whole single-query responses against the json.Encoder rendering of the
+	// response structs the handlers used to marshal.
+	pts := []geom.Point{
+		geom.Pt2(3, 14, 91), geom.Pt2(8, 2.5, 0.125), geom.Pt2(10, 1e-9, 5e20),
+	}
+	frags := pointFrags(pts)
+	cases := []struct {
+		ids  []int32
+		x, y float64
+	}{
+		{[]int32{3, 8, 10}, 10, 80},
+		{[]int32{8}, 1e-7, -0.5},
+		{nil, 1e21, math.Copysign(0, -1)},
+	}
+	for _, tc := range cases {
+		resp := skylineResponse{Kind: "quadrant", Query: []float64{tc.x, tc.y},
+			IDs: make([]int32, 0, len(tc.ids)), Points: make([]pointJSON, 0, len(tc.ids))}
+		for _, id := range tc.ids {
+			resp.IDs = append(resp.IDs, id)
+			for _, p := range pts {
+				if int32(p.ID) == id {
+					resp.Points = append(resp.Points, pointJSON{ID: p.ID, Coords: p.Coords})
+				}
+			}
+		}
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(resp); err != nil {
+			t.Fatal(err)
+		}
+		got := appendSkylineResponse(nil, "quadrant", tc.x, tc.y, tc.ids, frags)
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("single response:\n got %q\nwant %q", got, want.Bytes())
+		}
+	}
+
+	// Batch responses, including an empty result.
+	queries := [][]float64{{10, 80}, {1e-8, 3e21}, {-2.25, 0.1}}
+	answers := map[int][]int32{0: {3, 8}, 1: {}, 2: {10}}
+	resp := batchResponse{Kind: "global", Count: len(queries), Results: make([]batchResult, len(queries))}
+	for i, q := range queries {
+		resp.Results[i] = batchResult{Query: q, IDs: answers[i]}
+	}
+	var want bytes.Buffer
+	if err := json.NewEncoder(&want).Encode(resp); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	got := appendBatchResponse(nil, "global", queries, func(x, y float64) []int32 {
+		ids := answers[calls]
+		calls++
+		return ids
+	})
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("batch response:\n got %q\nwant %q", got, want.Bytes())
+	}
+}
+
+// TestEncoderZeroAllocs pins the pooled encoding paths at zero heap
+// allocations once a buffer of sufficient capacity is in the pool.
+func TestEncoderZeroAllocs(t *testing.T) {
+	pts := []geom.Point{geom.Pt2(3, 14, 91), geom.Pt2(8, 2.5, 0.125)}
+	frags := pointFrags(pts)
+	ids := []int32{3, 8}
+	queries := [][]float64{{10, 80}, {20, 30}, {1e-8, 5}}
+
+	single := testing.AllocsPerRun(200, func() {
+		bp := getBuf()
+		*bp = appendSkylineResponse(*bp, "quadrant", 10.5, 80.25, ids, frags)
+		putBuf(bp)
+	})
+	if single != 0 {
+		t.Fatalf("single-query encode: %v allocs/op, want 0", single)
+	}
+
+	batch := testing.AllocsPerRun(200, func() {
+		bp := getBuf()
+		*bp = appendBatchResponse(*bp, "global", queries, func(x, y float64) []int32 { return ids })
+		putBuf(bp)
+	})
+	if batch != 0 {
+		t.Fatalf("batch encode: %v allocs/op, want 0", batch)
+	}
+}
+
+func BenchmarkEncodeSkylineResponse(b *testing.B) {
+	pts := []geom.Point{geom.Pt2(3, 14, 91), geom.Pt2(8, 2.5, 0.125), geom.Pt2(10, 7, 7)}
+	frags := pointFrags(pts)
+	ids := []int32{3, 8, 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp := getBuf()
+		*bp = appendSkylineResponse(*bp, "quadrant", 10.5, 80.25, ids, frags)
+		putBuf(bp)
+	}
+}
+
+func BenchmarkEncodeBatchResponse(b *testing.B) {
+	pts := []geom.Point{geom.Pt2(3, 14, 91), geom.Pt2(8, 2.5, 0.125)}
+	frags := pointFrags(pts)
+	_ = frags
+	ids := []int32{3, 8}
+	queries := make([][]float64, 64)
+	for i := range queries {
+		queries[i] = []float64{float64(i), float64(64 - i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp := getBuf()
+		*bp = appendBatchResponse(*bp, "global", queries, func(x, y float64) []int32 { return ids })
+		putBuf(bp)
+	}
+}

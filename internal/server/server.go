@@ -149,6 +149,26 @@ type state struct {
 	quadrant *core.QuadrantDiagram
 	global   *core.GlobalDiagram
 	dynamic  *core.DynamicDiagram // nil when disabled
+	// frags holds each point's JSON object ({"id":..,"coords":[..]}) encoded
+	// once at snapshot build, so the query hot path assembles responses by
+	// copying bytes instead of marshalling. Rebuilt on every snapshot swap —
+	// the map is immutable once published, like everything else in state.
+	frags map[int32][]byte
+}
+
+// pointFrags precomputes every point's JSON fragment for a snapshot.
+func pointFrags(pts []geom.Point) map[int32][]byte {
+	frags := make(map[int32][]byte, len(pts))
+	for _, p := range pts {
+		j, err := json.Marshal(pointJSON{ID: p.ID, Coords: p.Coords})
+		if err != nil {
+			// Unreachable: pointJSON has no unmarshallable fields. Keep the
+			// map entry present so a hot-path lookup never misses.
+			j = []byte("null")
+		}
+		frags[int32(p.ID)] = j
+	}
+	return frags
 }
 
 // Handler serves skyline queries for one dataset.
@@ -213,7 +233,7 @@ func (h *Handler) buildState(pts []geom.Point) (*state, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: build global: %w", err)
 	}
-	st := &state{points: pts, quadrant: quad, global: glob}
+	st := &state{points: pts, quadrant: quad, global: glob, frags: pointFrags(pts)}
 	if len(pts) <= h.maxDynamic {
 		dyn, err := core.BuildDynamic(pts, opts)
 		if err != nil {
@@ -609,13 +629,17 @@ func (h *Handler) handleSkyline(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusForKindErr(err), err.Error())
 		return
 	}
-	pts := d.QueryPoints(geom.Pt2(-1, x, y))
-	resp := skylineResponse{Kind: kind, Query: []float64{x, y}, IDs: make([]int32, 0, len(pts)), Points: make([]pointJSON, 0, len(pts))}
-	for _, p := range pts {
-		resp.IDs = append(resp.IDs, int32(p.ID))
-		resp.Points = append(resp.Points, pointJSON{ID: p.ID, Coords: p.Coords})
-	}
-	writeJSON(w, http.StatusOK, resp)
+	// Hot path: point location returns an arena subslice (no copy), ids and
+	// point fragments are appended into a pooled buffer — zero allocations
+	// once the pool is warm.
+	ids := d.QueryXY(x, y)
+	bp := getBuf()
+	buf := appendSkylineResponse(*bp, kind, x, y, ids, snap.frags)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+	*bp = buf
+	putBuf(bp)
 }
 
 func statusForKindErr(err error) int {
@@ -693,17 +717,17 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusForKindErr(err), err.Error())
 		return
 	}
-	resp := batchResponse{Kind: kind, Count: len(req.Queries), Results: make([]batchResult, len(req.Queries))}
-	for i, c := range req.Queries {
-		ids := d.Query(geom.Pt2(-1, c[0], c[1]))
-		if ids == nil {
-			ids = []int32{}
-		}
-		resp.Results[i] = batchResult{Query: c, IDs: ids}
-	}
+	// Each query resolves to an arena subslice which is encoded straight into
+	// the pooled buffer — no intermediate result slice, no per-query copies.
+	bp := getBuf()
+	buf := appendBatchResponse(*bp, kind, req.Queries, d.QueryXY)
 	h.reg.Counter("skyserve_batch_queries_total",
 		"Queries answered through /v1/skyline/batch.").Add(int64(len(req.Queries)))
-	writeJSON(w, http.StatusOK, resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+	*bp = buf
+	putBuf(bp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -867,7 +891,7 @@ func (h *Handler) applyUpdate(ctx context.Context, derive func(base *state) (*co
 // the global rebuild hides entirely behind it).
 func (h *Handler) rebuildAround(quad *core.QuadrantDiagram, pts []geom.Point) (*state, error) {
 	opts := core.Options{Metrics: h.reg, Workers: h.workers}
-	next := &state{points: pts, quadrant: quad}
+	next := &state{points: pts, quadrant: quad, frags: pointFrags(pts)}
 
 	var wg sync.WaitGroup
 	var globErr, dynErr error

@@ -4,19 +4,29 @@
 // machine, ship the file, query it on small ones without loading the whole
 // diagram into memory.
 //
-// File layout (all integers big-endian):
+// File layout (all integers big-endian), format version 3:
 //
 //	header   magic "SKYDSTO1", version, dim, #points, cols, rows,
 //	         cellsPerPage, #pages, section offsets
 //	points   id:int64, coords: dim × float64  (grid lines are rebuilt from
 //	         these on open, exactly as the in-memory constructors do)
 //	index    per page: offset:uint64, length:uint32, crc32:uint32
-//	pages    each page: cellsPerPage local offsets (uint32) followed by the
-//	         cells' payloads (count:uint32, ids: count × int32)
-//	trailer  magic "SKYDEND1", crc32 of every preceding byte (format
-//	         version 2; version-1 files without a trailer still open)
+//	pages    each page: cellsPerPage interned result labels (uint32,
+//	         0xFFFFFFFF for padding past the last cell) — fixed
+//	         4·cellsPerPage bytes per page
+//	arena    the interned CSR result table shared by every cell:
+//	         #results:uint32, #ids:uint32, offsets: (#results+1) × uint32,
+//	         ids: #ids × uint32, crc32 of the section
+//	trailer  magic "SKYDEND1", crc32 of every preceding byte
 //
-// Every page is CRC-checked on load, and opening a version-2 file of known
+// The arena is loaded (and checksummed) once at open; label pages go through
+// the page cache, and Cell resolves a label to a subslice of the arena — no
+// per-cell [][]int32 is ever materialized, and a cache-hit read allocates
+// nothing. Earlier formats still open read-compatibly: version 2 (and the
+// trailer-less version 1) pages carry per-cell id payloads which are decoded
+// per read, exactly as before.
+//
+// Every page is CRC-checked on load, and opening a version-2+ file of known
 // size verifies the full-file checksum trailer first, so silent corruption —
 // including a torn write that stopped mid-file — turns into ErrCorrupt
 // instead of a wrong skyline.
@@ -34,6 +44,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 	"math"
@@ -46,17 +57,24 @@ import (
 	"repro/internal/geom"
 	"repro/internal/grid"
 	"repro/internal/quaddiag"
+	"repro/internal/resultset"
 )
 
 const (
-	magic        = "SKYDSTO1"
-	version      = 2
-	headerSize   = 64
-	indexEntrySz = 16
-	// trailerMagic ends every version-2 file, followed by a CRC32 of all
+	magic   = "SKYDSTO1"
+	version = 3
+	// versionLegacyCells is the last format whose pages carry per-cell id
+	// payloads instead of labels; kept writable so the read-compat promise
+	// stays executable in tests.
+	versionLegacyCells = 2
+	headerSize         = 64
+	indexEntrySz       = 16
+	// trailerMagic ends every version-2+ file, followed by a CRC32 of all
 	// preceding bytes.
 	trailerMagic = "SKYDEND1"
 	trailerSize  = 12
+	// noCell pads label pages past the diagram's last cell.
+	noCell = 0xFFFFFFFF
 	// CellsPerPage balances page size (decode cost) against index size.
 	CellsPerPage = 256
 	// DefaultCacheSize is the number of decoded pages kept in memory.
@@ -75,23 +93,26 @@ const (
 	kindDynamic  = 2
 )
 
-// Write serialises a quadrant diagram to w.
+// Write serialises a quadrant diagram to w in the current (version 3,
+// interned CSR) format.
 func Write(w io.Writer, d *quaddiag.Diagram) error {
-	pts, cells := d.Export()
-	return write(w, pts, cells, d.Grid.Cols(), d.Grid.Rows(), kindQuadrant)
+	labels, table := d.ExportCSR()
+	return writeCSR(w, d.Points, labels, table, d.Grid.Cols(), d.Grid.Rows(), kindQuadrant)
 }
 
 // WriteDynamic serialises a dynamic diagram to w. The subcell grid is
 // rebuilt deterministically from the points on open, exactly like the cell
 // grid of the quadrant form.
 func WriteDynamic(w io.Writer, d *dyndiag.Diagram) error {
-	pts, cells := d.Export()
-	return write(w, pts, cells, d.Sub.Cols(), d.Sub.Rows(), kindDynamic)
+	labels, table := d.ExportCSR()
+	return writeCSR(w, d.Points, labels, table, d.Sub.Cols(), d.Sub.Rows(), kindDynamic)
 }
 
-func write(w io.Writer, pts []geom.Point, cells [][]int32, cols, rows, kind int) error {
-	numPages := (len(cells) + CellsPerPage - 1) / CellsPerPage
-	if len(cells) == 0 {
+// writeCSR writes the version-3 format: fixed-size label pages plus one
+// arena section holding the interned result table.
+func writeCSR(w io.Writer, pts []geom.Point, labels []uint32, table *resultset.Table, cols, rows, kind int) error {
+	numPages := (len(labels) + CellsPerPage - 1) / CellsPerPage
+	if len(labels) == 0 {
 		return fmt.Errorf("store: diagram has no cells")
 	}
 
@@ -100,7 +121,40 @@ func write(w io.Writer, pts []geom.Point, cells [][]int32, cols, rows, kind int)
 	// the trailer then pins for whole-file verification on open.
 	sum := crc32.NewIEEE()
 	bw := io.MultiWriter(raw, sum)
-	// Build pages first so the index can be written before them.
+	be := binary.BigEndian
+	// Label pages: fixed 4·CellsPerPage bytes, noCell padding past the end.
+	pages := make([][]byte, numPages)
+	for pg := range pages {
+		page := make([]byte, 4*CellsPerPage)
+		for k := 0; k < CellsPerPage; k++ {
+			idx := pg*CellsPerPage + k
+			if idx < len(labels) {
+				be.PutUint32(page[4*k:], labels[idx])
+			} else {
+				be.PutUint32(page[4*k:], noCell)
+			}
+		}
+		pages[pg] = page
+	}
+	arena := encodeArena(table)
+	if err := writeSections(raw, bw, pts, pages, cols, rows, kind, version, arena); err != nil {
+		return err
+	}
+	return finishTrailer(raw, sum)
+}
+
+// writeLegacyCells writes the version-2 cell-payload format. Production code
+// always writes version 3; this path keeps the "old files still open"
+// promise executable in tests and lets operators regenerate a v2 file for
+// rollback.
+func writeLegacyCells(w io.Writer, pts []geom.Point, cells [][]int32, cols, rows, kind int) error {
+	numPages := (len(cells) + CellsPerPage - 1) / CellsPerPage
+	if len(cells) == 0 {
+		return fmt.Errorf("store: diagram has no cells")
+	}
+	raw := bufio.NewWriter(w)
+	sum := crc32.NewIEEE()
+	bw := io.MultiWriter(raw, sum)
 	pages := make([][]byte, numPages)
 	for pg := 0; pg < numPages; pg++ {
 		start := pg * CellsPerPage
@@ -110,22 +164,31 @@ func write(w io.Writer, pts []geom.Point, cells [][]int32, cols, rows, kind int)
 		}
 		pages[pg] = encodePage(cells[start:end])
 	}
+	if err := writeSections(raw, bw, pts, pages, cols, rows, kind, versionLegacyCells, nil); err != nil {
+		return err
+	}
+	return finishTrailer(raw, sum)
+}
 
+// writeSections writes header, points, page index, pages, and the optional
+// arena section through bw (raw is flushed on an injected page fault to
+// leave the torn prefix behind, as a crash would).
+func writeSections(raw *bufio.Writer, bw io.Writer, pts []geom.Point, pages [][]byte, cols, rows, kind int, v uint32, arena []byte) error {
+	be := binary.BigEndian
 	pointsSize := len(pts) * (8 + 8*dimOf(pts))
 	indexOffset := headerSize + pointsSize
-	pagesOffset := indexOffset + numPages*indexEntrySz
+	pagesOffset := indexOffset + len(pages)*indexEntrySz
 
 	// Header.
 	var hdr [headerSize]byte
 	copy(hdr[0:8], magic)
-	be := binary.BigEndian
-	be.PutUint32(hdr[8:], version)
+	be.PutUint32(hdr[8:], v)
 	be.PutUint32(hdr[12:], uint32(dimOf(pts)))
 	be.PutUint64(hdr[16:], uint64(len(pts)))
 	be.PutUint32(hdr[24:], uint32(cols))
 	be.PutUint32(hdr[28:], uint32(rows))
 	be.PutUint32(hdr[32:], CellsPerPage)
-	be.PutUint64(hdr[36:], uint64(numPages))
+	be.PutUint64(hdr[36:], uint64(len(pages)))
 	be.PutUint64(hdr[44:], uint64(indexOffset))
 	be.PutUint64(hdr[52:], uint64(pagesOffset))
 	be.PutUint32(hdr[60:], uint32(kind))
@@ -174,14 +237,46 @@ func write(w io.Writer, pts []geom.Point, cells [][]int32, cols, rows, kind int)
 		}
 	}
 
-	// Trailer: not part of its own checksum.
+	// Arena (version 3 only), placed directly after the last page.
+	if arena != nil {
+		if _, err := bw.Write(arena); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishTrailer appends the whole-file checksum trailer (not part of its own
+// checksum) and flushes.
+func finishTrailer(raw *bufio.Writer, sum hash.Hash32) error {
 	var tr [trailerSize]byte
 	copy(tr[0:8], trailerMagic)
-	be.PutUint32(tr[8:], sum.Sum32())
+	binary.BigEndian.PutUint32(tr[8:], sum.Sum32())
 	if _, err := raw.Write(tr[:]); err != nil {
 		return err
 	}
 	return raw.Flush()
+}
+
+// encodeArena lays out the interned result table section:
+// #results, #ids, offsets, ids, section crc32.
+func encodeArena(t *resultset.Table) []byte {
+	be := binary.BigEndian
+	offs, ids := t.Offsets(), t.IDs()
+	buf := make([]byte, 8+4*len(offs)+4*len(ids)+4)
+	be.PutUint32(buf[0:], uint32(t.NumResults()))
+	be.PutUint32(buf[4:], uint32(len(ids)))
+	off := 8
+	for _, o := range offs {
+		be.PutUint32(buf[off:], o)
+		off += 4
+	}
+	for _, id := range ids {
+		be.PutUint32(buf[off:], uint32(id))
+		off += 4
+	}
+	be.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+	return buf
 }
 
 func dimOf(pts []geom.Point) int {
@@ -322,6 +417,7 @@ type Store struct {
 	r      io.ReaderAt
 	closer io.Closer
 
+	version    int
 	dim        int
 	kind       int
 	cols, rows int
@@ -329,6 +425,9 @@ type Store struct {
 	pageIndex  []pageMeta
 	xs, ys     []float64
 	points     []geom.Point
+	// table is the interned result arena, loaded eagerly for version-3
+	// files; Cell resolves a page's label into it without copying.
+	table *resultset.Table
 
 	mu      sync.Mutex
 	cache   *pageCache
@@ -407,7 +506,7 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 	}
 	be := binary.BigEndian
 	v := be.Uint32(hdr[8:])
-	if v != 1 && v != version {
+	if v != 1 && v != versionLegacyCells && v != version {
 		return nil, fmt.Errorf("store: unsupported version %d", v)
 	}
 	// Version-2 files carry a whole-file checksum trailer; verifying it up
@@ -420,11 +519,12 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 		}
 	}
 	s := &Store{
-		r:    r,
-		dim:  int(be.Uint32(hdr[12:])),
-		cols: int(be.Uint32(hdr[24:])),
-		rows: int(be.Uint32(hdr[28:])),
-		kind: int(be.Uint32(hdr[60:])),
+		r:       r,
+		version: int(v),
+		dim:     int(be.Uint32(hdr[12:])),
+		cols:    int(be.Uint32(hdr[24:])),
+		rows:    int(be.Uint32(hdr[28:])),
+		kind:    int(be.Uint32(hdr[60:])),
 	}
 	if s.kind != kindQuadrant && s.kind != kindDynamic {
 		return nil, fmt.Errorf("%w: unknown diagram kind %d", ErrCorrupt, s.kind)
@@ -543,12 +643,83 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 			}
 		}
 	}
+	if s.version >= 3 {
+		// Label pages are fixed-size; anything else is structural damage.
+		for pg, meta := range s.pageIndex {
+			if meta.length != 4*CellsPerPage {
+				return nil, fmt.Errorf("%w: label page %d is %d bytes (want %d)",
+					ErrCorrupt, pg, meta.length, 4*CellsPerPage)
+			}
+		}
+		last := s.pageIndex[s.numPages-1]
+		if err := s.loadArena(int64(last.off)+int64(last.length), size, numPoints); err != nil {
+			return nil, err
+		}
+	}
 	if cacheSize <= 0 {
 		cacheSize = DefaultCacheSize
 	}
 	s.cache = newPageCache(cacheSize)
 	s.loading = make(map[int]*pageLoad)
 	return s, nil
+}
+
+// loadArena reads, bounds-checks, and CRC-verifies the version-3 arena
+// section starting at arenaOff, leaving the interned table in s.table.
+func (s *Store) loadArena(arenaOff, size int64, numPoints int) error {
+	be := binary.BigEndian
+	var head [8]byte
+	if err := faultinject.Hit("store.ReadAt"); err != nil {
+		return fmt.Errorf("store: read arena: %w", err)
+	}
+	if _, err := s.r.ReadAt(head[:], arenaOff); err != nil {
+		return fmt.Errorf("store: read arena: %w", err)
+	}
+	numResults := uint64(be.Uint32(head[0:]))
+	totalIDs := uint64(be.Uint32(head[4:]))
+	// Bound both counts before allocating: at most one result per cell, and
+	// every result id names a stored point, so totalIDs ≤ results × points.
+	if numResults > uint64(s.cols)*uint64(s.rows)+1 {
+		return fmt.Errorf("%w: arena claims %d results for %d cells", ErrCorrupt, numResults, s.cols*s.rows)
+	}
+	if totalIDs > numResults*uint64(numPoints) {
+		return fmt.Errorf("%w: arena claims %d ids for %d results over %d points",
+			ErrCorrupt, totalIDs, numResults, numPoints)
+	}
+	bodyLen := 4*int64(numResults+1) + 4*int64(totalIDs) + 4
+	if size >= 0 && arenaOff+8+bodyLen > size-trailerSize {
+		return fmt.Errorf("%w: arena (%d bytes at offset %d) overruns the %d-byte reader",
+			ErrCorrupt, 8+bodyLen, arenaOff, size)
+	}
+	body := make([]byte, bodyLen)
+	if err := faultinject.Hit("store.ReadAt"); err != nil {
+		return fmt.Errorf("store: read arena: %w", err)
+	}
+	if _, err := s.r.ReadAt(body, arenaOff+8); err != nil {
+		return fmt.Errorf("store: read arena: %w", err)
+	}
+	sum := crc32.ChecksumIEEE(head[:])
+	sum = crc32.Update(sum, crc32.IEEETable, body[:bodyLen-4])
+	if want := be.Uint32(body[bodyLen-4:]); sum != want {
+		return fmt.Errorf("%w: arena checksum mismatch", ErrCorrupt)
+	}
+	offsets := make([]uint32, numResults+1)
+	off := 0
+	for i := range offsets {
+		offsets[i] = be.Uint32(body[off:])
+		off += 4
+	}
+	ids := make([]int32, totalIDs)
+	for i := range ids {
+		ids[i] = int32(be.Uint32(body[off:]))
+		off += 4
+	}
+	t, ok := resultset.NewTable(offsets, ids)
+	if !ok {
+		return fmt.Errorf("%w: arena offsets are not a valid CSR table", ErrCorrupt)
+	}
+	s.table = t
+	return nil
 }
 
 // Close releases the underlying file when the store owns one.
@@ -572,7 +743,9 @@ func (s *Store) Query(q geom.Point) ([]int32, error) {
 	return s.Cell(i, j)
 }
 
-// Cell reads the result of cell (i, j).
+// Cell reads the result of cell (i, j). For version-3 files the returned
+// slice aliases the shared arena and must not be modified; earlier formats
+// decode a fresh slice from the page payload.
 func (s *Store) Cell(i, j int) ([]int32, error) {
 	if i < 0 || j < 0 || i >= s.cols || j >= s.rows {
 		return nil, fmt.Errorf("store: cell (%d,%d) out of range %dx%d", i, j, s.cols, s.rows)
@@ -585,6 +758,17 @@ func (s *Store) Cell(i, j int) ([]int32, error) {
 		return nil, err
 	}
 	be := binary.BigEndian
+	if s.version >= 3 {
+		label := be.Uint32(page[4*local:])
+		if label == noCell {
+			return nil, fmt.Errorf("store: page %d has no cell %d", pg, local)
+		}
+		if int(label) >= s.table.NumResults() {
+			return nil, fmt.Errorf("%w: cell %d label %d out of range (%d results)",
+				ErrCorrupt, cellIdx, label, s.table.NumResults())
+		}
+		return s.table.Result(label), nil
+	}
 	off := be.Uint32(page[4*local:])
 	if off == 0xFFFFFFFF || int(off)+4 > len(page) {
 		return nil, fmt.Errorf("store: page %d has no cell %d", pg, local)

@@ -123,10 +123,15 @@ func TestCorruptionDetected(t *testing.T) {
 		t.Fatalf("bad magic: want ErrCorrupt, got %v", err)
 	}
 
-	// Flip one byte in the last page's payload. With a known size the
+	// Flip one byte inside the last label page. With a known size the
 	// full-file trailer checksum catches it at open...
+	pristine, err := NewSized(bytes.NewReader(raw), 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastPage := pristine.pageIndex[pristine.numPages-1]
 	bad = append([]byte(nil), raw...)
-	bad[len(bad)-trailerSize-1] ^= 0x01
+	bad[int(lastPage.off)+1] ^= 0x01
 	if _, err := New(bytes.NewReader(bad), 4); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("flipped byte: want ErrCorrupt at open, got %v", err)
 	}
@@ -134,12 +139,21 @@ func TestCorruptionDetected(t *testing.T) {
 	// per-page CRC still catches it on first touch.
 	s, err := NewSized(bytes.NewReader(bad), 4, -1)
 	if err != nil {
-		t.Fatal(err) // header still fine
+		t.Fatal(err) // header and arena still fine
 	}
 	lastCell := s.NumCells() - 1
 	i, j := lastCell/s.rows, lastCell%s.rows
 	if _, err := s.Cell(i, j); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("corrupted page: want ErrCorrupt from its checksum, got %v", err)
+	}
+
+	// Flip one byte in the arena section: its own checksum catches it at
+	// open even when the reader size (and so the trailer) is unknown.
+	arenaOff := int(lastPage.off) + int(lastPage.length)
+	bad = append([]byte(nil), raw...)
+	bad[arenaOff+9] ^= 0x01 // first offsets word
+	if _, err := NewSized(bytes.NewReader(bad), 4, -1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted arena: want ErrCorrupt at open, got %v", err)
 	}
 
 	// Truncated file: the trailer is gone, so a known size fails at open.
@@ -159,11 +173,13 @@ func TestCorruptionDetected(t *testing.T) {
 }
 
 // TestLegacyVersion1StillOpens guards the compatibility promise: a version-1
-// file — no trailer — written by earlier releases must keep opening.
+// file — cell-payload pages, no trailer — written by earlier releases must
+// keep opening.
 func TestLegacyVersion1StillOpens(t *testing.T) {
 	d := buildDiagram(t, 20, 11)
+	pts, cells := d.Export()
 	var buf bytes.Buffer
-	if err := Write(&buf, d); err != nil {
+	if err := writeLegacyCells(&buf, pts, cells, d.Grid.Cols(), d.Grid.Rows(), kindQuadrant); err != nil {
 		t.Fatal(err)
 	}
 	legacy := append([]byte(nil), buf.Bytes()...)
@@ -179,6 +195,54 @@ func TestLegacyVersion1StillOpens(t *testing.T) {
 	}
 	if want := d.Query(geom.Pt2(-1, 10.5, 10.5)); len(got) != len(want) {
 		t.Fatalf("legacy query %v, want %v", got, want)
+	}
+}
+
+// TestLegacyVersion2StillOpens guards read-compat for version-2 files —
+// cell-payload pages plus the whole-file trailer — against the version-3
+// interned format: every cell and random queries must match the source
+// diagram exactly.
+func TestLegacyVersion2StillOpens(t *testing.T) {
+	d := buildDiagram(t, 45, 12)
+	pts, cells := d.Export()
+	var buf bytes.Buffer
+	if err := writeLegacyCells(&buf, pts, cells, d.Grid.Cols(), d.Grid.Rows(), kindQuadrant); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(bytes.NewReader(buf.Bytes()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.version != versionLegacyCells {
+		t.Fatalf("version = %d, want %d", s.version, versionLegacyCells)
+	}
+	for i := 0; i < d.Grid.Cols(); i++ {
+		for j := 0; j < d.Grid.Rows(); j++ {
+			got, err := s.Cell(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := d.Cell(i, j)
+			if len(got) != len(want) {
+				t.Fatalf("cell (%d,%d): %v vs %v", i, j, got, want)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("cell (%d,%d): %v vs %v", i, j, got, want)
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt2(-1, rng.Float64()*140-20, rng.Float64()*140-20)
+		got, err := s.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := d.Query(q); len(got) != len(want) {
+			t.Fatalf("q=%v: %v vs %v", q, got, want)
+		}
 	}
 }
 

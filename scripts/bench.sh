@@ -1,0 +1,48 @@
+#!/bin/sh
+# Runs the serving-hot-loop benchmark families with -benchmem and writes the
+# results to BENCH_serve.json ({name, ns_per_op, b_per_op, allocs_per_op}
+# per benchmark). Exits non-zero if any benchmark in the zero-allocation
+# contract (BenchmarkQuery* in internal/core, BenchmarkEncode* in
+# internal/server) reports a nonzero allocs/op — that contract is what the
+# read path's latency depends on, so CI fails on the regression by name.
+#
+#   ./scripts/bench.sh              # full run, writes BENCH_serve.json
+#   BENCHTIME=10x ./scripts/bench.sh  # quick smoke (CI uses this)
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_serve.json}
+benchtime=${BENCHTIME:-1s}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== bench (benchtime=$benchtime)"
+go test -run '^$' -bench 'BenchmarkQuery|BenchmarkEncode' -benchmem \
+    -benchtime "$benchtime" ./internal/core/ ./internal/server/ | tee "$tmp"
+
+awk '
+/^Benchmark/ && /allocs\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, ns, bytes, allocs
+    if (allocs + 0 > 0) { bad = bad name " (" allocs " allocs/op) " }
+}
+END {
+    printf "\n"
+    if (bad != "") { print "REGRESSION: " bad > "/dev/stderr"; exit 1 }
+}' "$tmp" > "$tmp.body" || { rm -f "$tmp.body"; exit 1; }
+
+{
+    echo "["
+    cat "$tmp.body"
+    echo "]"
+} > "$out"
+rm -f "$tmp.body"
+echo "wrote $out"
