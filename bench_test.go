@@ -488,3 +488,62 @@ func BenchmarkE12_CompactMemory(b *testing.B) {
 		})
 	}
 }
+
+// E18: write throughput — incremental maintenance with write coalescing vs
+// the pre-incremental full-rebuild path, on the same dataset and handler
+// stack. One op is an insert/delete pair through the HTTP handler (the state
+// returns to the base set, so every op pays a steady-state maintenance pass);
+// writes/sec is the figure EXPERIMENTS.md E18 quotes. n is kept at 400
+// because the full-rebuild baseline pays a from-scratch global build per
+// batch — the very cost incremental maintenance deletes.
+func BenchmarkE18_WriteThroughput(b *testing.B) {
+	pts := experiments.GenQuadrant(dataset.Independent, 400, benchSeed)
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"incremental", false}, {"full-rebuild", true}} {
+		for _, writers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/writers=%d", mode.name, writers), func(b *testing.B) {
+				h, err := server.New(pts, server.Config{Workers: -1, FullRebuild: mode.full})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops := make(chan int)
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := range ops {
+							id := 1_000_000 + w*100_000 + i
+							body := fmt.Sprintf(`{"id":%d,"coords":[%g,%g]}`,
+								id, float64((i*13)%800)+0.25, float64((i*29)%800)+0.25)
+							req := httptest.NewRequest("POST", "/v1/points", strings.NewReader(body))
+							rec := httptest.NewRecorder()
+							h.ServeHTTP(rec, req)
+							if rec.Code != 201 {
+								b.Errorf("insert code %d", rec.Code)
+								return
+							}
+							req = httptest.NewRequest("DELETE", fmt.Sprintf("/v1/points/%d", id), nil)
+							rec = httptest.NewRecorder()
+							h.ServeHTTP(rec, req)
+							if rec.Code != 200 {
+								b.Errorf("delete code %d", rec.Code)
+								return
+							}
+						}
+					}(w)
+				}
+				for i := 0; i < b.N; i++ {
+					ops <- i
+				}
+				close(ops)
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "writes/sec")
+			})
+		}
+	}
+}

@@ -7,10 +7,14 @@
 //
 // Omitting -in serves the paper's 11-hotel running example.
 //
-// Diagram builds — the initial one and every insert/delete rebuild — run
-// with -workers parallel workers (default: all CPUs; 0 forces sequential
-// construction). Inserts and deletes never block queries: readers keep
-// answering from the previous snapshot until the rebuilt one is swapped in.
+// Diagram builds run with -workers parallel workers (default: all CPUs; 0
+// forces sequential construction). Inserts and deletes never block queries:
+// all three diagrams are maintained incrementally from the previous snapshot
+// (use -full-rebuild to restore from-scratch rebuilds), queued writes are
+// coalesced into batches of up to -max-coalesce ops sharing one maintenance
+// pass and one snapshot swap (-coalesce-delay trades write latency for
+// bigger batches), and readers keep answering from the previous snapshot
+// until the new one is swapped in. See docs/MAINTENANCE.md.
 //
 // Every API request runs under -request-timeout via http.TimeoutHandler;
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ outside the
@@ -59,6 +63,12 @@ func main() {
 		"requests allowed to wait for a slot before shedding with 429 (-1: shed immediately at max-inflight)")
 	updateWait := flag.Duration("update-wait", server.DefaultUpdateWait,
 		"how long an insert/delete may wait for the writer slot before a 503 shed (-1 waits forever)")
+	maxCoalesce := flag.Int("max-coalesce", server.DefaultMaxCoalesce,
+		"queued writes one maintenance pass may fold into a single snapshot swap (-1 disables coalescing)")
+	coalesceDelay := flag.Duration("coalesce-delay", 0,
+		"how long a batch leader waits for more writes to queue before applying (adds write latency)")
+	fullRebuild := flag.Bool("full-rebuild", false,
+		"rebuild the global/dynamic diagrams from scratch on every write instead of maintaining them incrementally")
 	faults := flag.String("faults", os.Getenv(faultinject.EnvVar),
 		"fault-injection spec, e.g. 'store.ReadAt=error@0.01;server.query=latency:5ms' (default: $"+faultinject.EnvVar+"; testing only)")
 	flag.Parse()
@@ -93,6 +103,9 @@ func main() {
 		MaxInFlight:      *maxInFlight,
 		MaxQueue:         *maxQueue,
 		UpdateWait:       *updateWait,
+		MaxCoalesce:      *maxCoalesce,
+		CoalesceDelay:    *coalesceDelay,
+		FullRebuild:      *fullRebuild,
 	})
 	if err != nil {
 		log.Fatal(err)

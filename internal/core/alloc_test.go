@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/geom"
 )
 
 func genPoints(tb testing.TB, n int, dist dataset.Distribution, seed int64) []Point {
@@ -100,4 +101,100 @@ func BenchmarkQueryDynamic(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchQuery(b, dyn.QueryXY)
+}
+
+// maxCornerPoint returns a point just past the dataset's max corner: it is
+// dominated by every existing point, so an insert leaves every existing
+// cell's result unchanged — the pure label-carry regime of the incremental
+// maintenance paths.
+func maxCornerPoint(pts []Point, id int) Point {
+	mx, my := 0.0, 0.0
+	for _, p := range pts {
+		if p.X() > mx {
+			mx = p.X()
+		}
+		if p.Y() > my {
+			my = p.Y()
+		}
+	}
+	return geom.Pt2(id, mx+1, my+1)
+}
+
+// TestUpdateCarryAllocsBelowRebuild is the allocation gate on the
+// untouched-cell carry-over path: inserting a dominated far-corner point
+// changes no existing cell's result, so the incremental maintenance must
+// carry labels instead of re-interning — its allocation count is bounded by
+// the lazy index build over distinct results, several times below a full
+// rebuild's per-cell interning. A factor-3 regression here means the carry
+// path broke and updates went back to paying rebuild-shaped costs (measured
+// headroom is ~4-5x across sizes).
+func TestUpdateCarryAllocsBelowRebuild(t *testing.T) {
+	pts := genPoints(t, 96, dataset.Independent, 31)
+	set, err := BuildSet(pts, UpdateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := maxCornerPoint(pts, 1000000)
+	grown := append(pts[:len(pts):len(pts)], far)
+
+	quadInc := testing.AllocsPerRun(20, func() {
+		if _, err := set.Quadrant.WithInsert(far); err != nil {
+			t.Fatal(err)
+		}
+	})
+	quadFull := testing.AllocsPerRun(5, func() {
+		if _, err := BuildQuadrant(grown, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if quadInc*3 > quadFull {
+		t.Fatalf("quadrant carry-over insert: %v allocs vs %v for a rebuild — carry path regressed", quadInc, quadFull)
+	}
+
+	globInc := testing.AllocsPerRun(10, func() {
+		if _, err := set.Global.WithInsert(far); err != nil {
+			t.Fatal(err)
+		}
+	})
+	globFull := testing.AllocsPerRun(3, func() {
+		if _, err := BuildGlobal(grown, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if globInc*3 > globFull {
+		t.Fatalf("global carry-over insert: %v allocs vs %v for a rebuild — carry path regressed", globInc, globFull)
+	}
+}
+
+// benchUpdate measures steady-state write maintenance: each op pair inserts a
+// fresh point and deletes it again, always applied to the same base set, so
+// the measured cost is one full maintenance pass per Apply without the set
+// drifting in size.
+func benchUpdate(b *testing.B, opts UpdateOptions) {
+	pts := genPoints(b, 256, dataset.Independent, 23)
+	set, err := BuildSet(pts, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := 1000000 + i
+		p := geom.Pt2(id, float64(i%97)/97, float64((i*37)%89)/89)
+		next, err := set.Apply(InsertOp(p), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := next.Apply(DeleteOp(id), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateIncremental(b *testing.B) {
+	benchUpdate(b, UpdateOptions{})
+}
+
+func BenchmarkUpdateFullRebuild(b *testing.B) {
+	benchUpdate(b, UpdateOptions{FullRebuild: true})
 }

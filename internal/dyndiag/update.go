@@ -1,0 +1,184 @@
+package dyndiag
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/resultset"
+)
+
+// Incremental maintenance for the dynamic skyline diagram. The subcell
+// arrangement changes with the point set (a point contributes its own grid
+// lines plus one bisector per other point), so the new arrangement is
+// rebuilt, but per-subcell results are derived from the old diagram instead
+// of recomputed:
+//
+//   - Insert: old lines are a subset of the new lines (every old coordinate
+//     and bisector survives), so each new subcell lies inside exactly one
+//     old subcell, where the old result is the dynamic skyline of the old
+//     points. By Sky(S ∪ {p}) = Sky(Sky(S) ∪ {p}) — valid per fixed query
+//     because dynamic dominance at a query is a strict partial order — the
+//     new result is the dynamic skyline of (old result ∪ {p}) at the
+//     subcell's representative query. When an old member dyn-dominates p
+//     the result is untouched and the old label is carried with no work.
+//   - Delete: new lines are a subset of the old lines, so each new
+//     subcell's representative query falls in exactly one old subcell.
+//     Removing a point outside a result never changes that result (any
+//     dominated point stays dominated by some surviving maximal member), so
+//     those subcells carry their labels; subcells whose result contained
+//     the removed point are recomputed from scratch over the remaining
+//     points (removal can expose points the old result does not mention).
+//
+// Both are copy-on-write over the interned table, exactly like the quadrant
+// diagram's maintenance: the interner is seeded from the old table, carried
+// cells cost O(result) to check and O(1) to label, and only changed cells
+// pay an intern. Both return a new Diagram; the receiver is unchanged.
+
+// WithInsert returns the diagram of Points ∪ {p}.
+func (d *Diagram) WithInsert(p geom.Point) (*Diagram, error) {
+	if p.Dim() != 2 {
+		return nil, fmt.Errorf("dyndiag: insert requires a 2-D point, got dimension %d", p.Dim())
+	}
+	for _, q := range d.Points {
+		if q.ID == p.ID {
+			return nil, fmt.Errorf("dyndiag: insert: id %d already present", p.ID)
+		}
+	}
+	pts := make([]geom.Point, len(d.Points)+1)
+	copy(pts, d.Points)
+	pts[len(d.Points)] = p
+	sg := grid.NewSubGrid(pts)
+	nd := &Diagram{
+		Points: pts,
+		Sub:    sg,
+		labels: make([]uint32, sg.Cols()*sg.Rows()),
+		rows:   sg.Rows(),
+	}
+	in := resultset.NewInternerFrom(d.results)
+	posByID := make(map[int32]int32, len(pts))
+	for pos, q := range pts {
+		posByID[int32(q.ID)] = int32(pos)
+	}
+	pPos := int32(len(pts) - 1)
+	oldCol, oldRow := d.containingSubcells(sg)
+	sc := newDynScratch(pts)
+	for i := 0; i < sg.Cols(); i++ {
+		for j := 0; j < sg.Rows(); j++ {
+			oldLabel := d.labels[oldCol[i]*d.rows+oldRow[j]]
+			old := d.results.Result(oldLabel)
+			qx, qy := sg.RepXY(i, j)
+			carried := false
+			for _, id := range old {
+				if dynDominatesXY(pts[posByID[id]], p, qx, qy) {
+					carried = true
+					break
+				}
+			}
+			if carried {
+				nd.labels[i*nd.rows+j] = oldLabel
+				continue
+			}
+			sc.begin()
+			for _, id := range old {
+				sc.add(posByID[id], qx, qy)
+			}
+			sc.add(pPos, qx, qy)
+			nd.labels[i*nd.rows+j] = in.Intern(sc.idsOf(sc.skyline()))
+		}
+	}
+	nd.results = in.Table()
+	return nd, nil
+}
+
+// WithDelete returns the diagram of Points \ {id}.
+func (d *Diagram) WithDelete(id int) (*Diagram, error) {
+	found := false
+	pts := make([]geom.Point, 0, len(d.Points))
+	for _, q := range d.Points {
+		if q.ID == id {
+			found = true
+			continue
+		}
+		pts = append(pts, q)
+	}
+	if !found {
+		return nil, fmt.Errorf("dyndiag: delete: id %d not present", id)
+	}
+	sg := grid.NewSubGrid(pts)
+	nd := &Diagram{
+		Points: pts,
+		Sub:    sg,
+		labels: make([]uint32, sg.Cols()*sg.Rows()),
+		rows:   sg.Rows(),
+	}
+	in := resultset.NewInternerFrom(d.results)
+	rid := int32(id)
+	oldCol, oldRow := d.containingSubcells(sg)
+	sc := newDynScratch(pts)
+	for i := 0; i < sg.Cols(); i++ {
+		for j := 0; j < sg.Rows(); j++ {
+			oldLabel := d.labels[oldCol[i]*d.rows+oldRow[j]]
+			if !containsID(d.results.Result(oldLabel), rid) {
+				nd.labels[i*nd.rows+j] = oldLabel
+				continue
+			}
+			qx, qy := sg.RepXY(i, j)
+			sc.begin()
+			for pos := range pts {
+				sc.add(int32(pos), qx, qy)
+			}
+			nd.labels[i*nd.rows+j] = in.Intern(sc.idsOf(sc.skyline()))
+		}
+	}
+	nd.results = in.Table()
+	return nd, nil
+}
+
+// containingSubcells locates, for every column and row of the new subgrid,
+// the receiver's subcell containing that column/row's representative
+// coordinate. Column and row location are independent, so one pass per axis
+// suffices.
+func (d *Diagram) containingSubcells(sg *grid.SubGrid) (oldCol, oldRow []int) {
+	oldCol = make([]int, sg.Cols())
+	for i := range oldCol {
+		x, _ := sg.RepXY(i, 0)
+		oi, _ := d.Sub.LocateXY(x, 0)
+		oldCol[i] = oi
+	}
+	oldRow = make([]int, sg.Rows())
+	for j := range oldRow {
+		_, y := sg.RepXY(0, j)
+		_, oj := d.Sub.LocateXY(0, y)
+		oldRow[j] = oj
+	}
+	return oldCol, oldRow
+}
+
+// dynDominatesXY is geom.DynDominates for 2-D points against the query
+// (qx, qy), without the query Point allocation.
+func dynDominatesXY(a, b geom.Point, qx, qy float64) bool {
+	adx, bdx := math.Abs(a.X()-qx), math.Abs(b.X()-qx)
+	if adx > bdx {
+		return false
+	}
+	ady, bdy := math.Abs(a.Y()-qy), math.Abs(b.Y()-qy)
+	if ady > bdy {
+		return false
+	}
+	return adx < bdx || ady < bdy
+}
+
+// containsID reports whether the ascending id list holds id.
+func containsID(ids []int32, id int32) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+		if v > id {
+			return false
+		}
+	}
+	return false
+}

@@ -15,6 +15,13 @@ type GlobalDiagram struct {
 	Points    []geom.Point
 	Grid      *grid.Grid
 	Quadrants [4]*Diagram // index = reflection mask; cells already remapped
+	// reflected holds the pre-remap quadrant diagrams, each built on the
+	// mask's reflection of the point set. Incremental maintenance
+	// (WithInsert/WithDelete) updates these with the plain quadrant rules
+	// and re-derives Quadrants by remapping; nil when the diagram was not
+	// built by BuildGlobal/BuildGlobalParallel (e.g. a zero value), in which
+	// case maintenance falls back to a full rebuild.
+	reflected [4]*Diagram
 	labels    []uint32
 	results   *resultset.Table
 	rows      int
@@ -40,6 +47,7 @@ func BuildGlobal(pts []geom.Point, alg Algorithm) (*GlobalDiagram, error) {
 		if err != nil {
 			return nil, err
 		}
+		gd.reflected[mask] = rd
 		gd.Quadrants[mask] = remap(rd, pts, g, mask)
 	}
 	gd.mergeQuadrants()

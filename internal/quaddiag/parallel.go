@@ -229,6 +229,7 @@ func BuildGlobalParallel(pts []geom.Point, alg Algorithm, workers int) (*GlobalD
 				errs[mask] = err
 				return
 			}
+			gd.reflected[mask] = rd
 			gd.Quadrants[mask] = remap(rd, pts, g, mask)
 		}(mask)
 	}

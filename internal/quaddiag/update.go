@@ -19,11 +19,12 @@ import (
 //     candidate whose relationships changed is the new point (if any old
 //     skyline member dominates it the result is untouched; otherwise it
 //     joins and evicts exactly the members it dominates).
-//   - Delete: unaffected cells are copied; affected cells are recomputed
-//     from the sorted point list (removing a point can expose points the
-//     old result does not mention, so a copy-based derivation would need
-//     the dominance graph; a linear rescan of O(rank_x · rank_y) cells is
-//     the simple robust choice).
+//   - Delete: unaffected cells are copied, and so is any affected cell whose
+//     old result does not contain the removed point — removing a non-skyline
+//     member never changes a skyline. Only the cells that listed the removed
+//     point are recomputed from their up/right neighbours (removing a result
+//     member can expose points the old result does not mention, so those
+//     cells need the Theorem 1 identity, not a copy-based derivation).
 //
 // Both are copy-on-write over the interned table: the new diagram's interner
 // is seeded from the old table (shared arena, no copying), unaffected cells
@@ -56,31 +57,67 @@ func (d *Diagram) WithInsert(p geom.Point) (*Diagram, error) {
 		labels: make([]uint32, g.Cols()*g.Rows()),
 		rows:   g.Rows(),
 	}
+	// Old lines ⊆ new lines: exactly one old cell contains each new cell.
+	// The containing column/row depends on one axis only, so the binary
+	// searches are hoisted out of the O(cells) loop.
+	oldCol, oldRow, cys := containingCells(g, d.Grid)
 	for i := 0; i < g.Cols(); i++ {
+		base, obase := i*nd.rows, oldCol[i]*d.rows
+		cx, _ := g.Corner(i, 0)
+		if !(p.X() > cx) {
+			// p is not a candidate anywhere in this column: pure label carry.
+			for j := 0; j < g.Rows(); j++ {
+				nd.labels[base+j] = d.labels[obase+oldRow[j]]
+			}
+			continue
+		}
 		for j := 0; j < g.Rows(); j++ {
-			cx, cy := g.Corner(i, j)
-			// Old lines ⊆ new lines: exactly one old cell contains this one.
-			oi := countLE(d.Grid.Xs, cx)
-			oj := countLE(d.Grid.Ys, cy)
-			oldLabel := d.labels[oi*d.rows+oj]
-			if !(p.X() > cx && p.Y() > cy) {
-				nd.labels[i*nd.rows+j] = oldLabel // p is not a candidate here
+			oldLabel := d.labels[obase+oldRow[j]]
+			if !(p.Y() > cys[j]) {
+				nd.labels[base+j] = oldLabel // p is not a candidate here
 				continue
 			}
-			nd.labels[i*nd.rows+j] = in.Intern(insertIntoResult(d.byID, d.results.Result(oldLabel), p))
+			ids, changed := insertIntoResult(d.byID, d.results.Result(oldLabel), p)
+			if !changed {
+				nd.labels[base+j] = oldLabel
+				continue
+			}
+			nd.labels[base+j] = in.Intern(ids)
 		}
 	}
 	nd.results = in.Table()
 	return nd, nil
 }
 
-// insertIntoResult derives Sky(candidates ∪ {p}) from Sky(candidates).
-func insertIntoResult(byID map[int32]geom.Point, old []int32, p geom.Point) []int32 {
+// containingCells maps every column/row of grid g to the column/row of grid
+// old whose cell contains g's corners on that axis (used in both directions:
+// insert refines the grid, delete coarsens it), and returns g's per-row
+// corner ordinates for reuse in cell loops.
+func containingCells(g, old *grid.Grid) (oldCol, oldRow []int, cys []float64) {
+	oldCol = make([]int, g.Cols())
+	for i := range oldCol {
+		cx, _ := g.Corner(i, 0)
+		oldCol[i] = countLE(old.Xs, cx)
+	}
+	oldRow = make([]int, g.Rows())
+	cys = make([]float64, g.Rows())
+	for j := range oldRow {
+		_, cy := g.Corner(0, j)
+		oldRow[j] = countLE(old.Ys, cy)
+		cys[j] = cy
+	}
+	return oldCol, oldRow, cys
+}
+
+// insertIntoResult derives Sky(candidates ∪ {p}) from Sky(candidates). When
+// the result is unchanged it reports changed=false so the caller can carry
+// the old cell's label instead of re-interning (no allocation at all).
+func insertIntoResult(byID map[int32]geom.Point, old []int32, p geom.Point) (ids []int32, changed bool) {
 	// If any old member dominates p, nothing changes: transitivity
 	// guarantees a dominated candidate is dominated by a skyline member.
 	for _, id := range old {
 		if geom.Dominates(byID[id], p) {
-			return old
+			return old, false
 		}
 	}
 	out := make([]int32, 0, len(old)+1)
@@ -98,7 +135,7 @@ func insertIntoResult(byID map[int32]geom.Point, old []int32, p geom.Point) []in
 	if !inserted {
 		out = append(out, int32(p.ID))
 	}
-	return out
+	return out, true
 }
 
 // WithDelete returns the diagram of Points \ {id}.
@@ -133,23 +170,28 @@ func (d *Diagram) WithDelete(id int) (*Diagram, error) {
 	// removed point was a candidate.
 	iMax := countLT(g.Xs, removed.X())
 	jMax := countLT(g.Ys, removed.Y())
+	oldCol, oldRow, _ := containingCells(g, d.Grid)
 	for i := 0; i < g.Cols(); i++ {
+		base, obase := i*nd.rows, oldCol[i]*d.rows
 		for j := 0; j < g.Rows(); j++ {
 			if i <= iMax && j <= jMax {
 				continue // affected; pass 2
 			}
-			cx, cy := g.Corner(i, j)
-			oi := countLE(d.Grid.Xs, cx)
-			oj := countLE(d.Grid.Ys, cy)
-			nd.labels[i*nd.rows+j] = d.labels[oi*d.rows+oj]
+			nd.labels[base+j] = d.labels[obase+oldRow[j]]
 		}
 	}
-	// Pass 2: recompute the affected lower-left rectangle with the Theorem 1
-	// identity, top-right to bottom-left. Every up/right neighbour is either
-	// unaffected (copied in pass 1) or already recomputed, and out-of-range
-	// neighbours are empty — exactly the scanning construction restricted to
-	// the removed point's influence region. Cells are read back through the
-	// interner, which resolves both copied and freshly interned labels.
+	// Pass 2: the affected lower-left rectangle, top-right to bottom-left.
+	// A cell whose old result does not list the removed point carries its
+	// label — removing a non-skyline member never changes a skyline (the old
+	// cell read through the lower-left constituent has the same corner, hence
+	// the same candidate set minus the removed point). The cells that DID
+	// list it are recomputed with the Theorem 1 identity: every up/right
+	// neighbour is either unaffected (copied in pass 1), carried, or already
+	// recomputed, and out-of-range neighbours are empty — exactly the
+	// scanning construction restricted to the removed point's influence
+	// region. Cells are read back through the interner, which resolves
+	// copied, carried, and freshly interned labels alike.
+	rid := int32(id)
 	byXY := grid.IndexByCoords(pts)
 	cellOrNil := func(i, j int) []int32 {
 		if i >= g.Cols() || j >= g.Rows() {
@@ -158,18 +200,38 @@ func (d *Diagram) WithDelete(id int) (*Diagram, error) {
 		return in.Result(nd.labels[i*nd.rows+j])
 	}
 	for i := iMax; i >= 0; i-- {
+		base, obase := i*nd.rows, oldCol[i]*d.rows
 		for j := jMax; j >= 0; j-- {
+			oldLabel := d.labels[obase+oldRow[j]]
+			if !containsLabelID(d.results.Result(oldLabel), rid) {
+				nd.labels[base+j] = oldLabel
+				continue
+			}
 			var ids []int32
 			if ps := g.PointsAtUpperRight(i, j, byXY); len(ps) > 0 {
 				ids = sortedIDs(ps)
 			} else {
 				ids = mergeSubtract(cellOrNil(i+1, j), cellOrNil(i, j+1), cellOrNil(i+1, j+1))
 			}
-			nd.labels[i*nd.rows+j] = in.Intern(ids)
+			nd.labels[base+j] = in.Intern(ids)
 		}
 	}
 	nd.results = in.Table()
 	return nd, nil
+}
+
+// containsLabelID reports whether the sorted result contains id.
+func containsLabelID(ids []int32, id int32) bool {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ids) && ids[lo] == id
 }
 
 // countLT returns the number of sorted values < v.

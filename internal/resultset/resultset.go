@@ -23,13 +23,38 @@
 // from an existing Table with NewInternerFrom: the arena prefix is shared
 // (capacity-clamped, so appends copy instead of clobbering), untouched cells
 // keep their old labels for free, and only touched cells pay an intern.
+//
+// Dedup across generations never rescans the arena. Each frozen table keeps
+// the hash index of the results IT added (an immutable freeze-time copy of
+// its interner's overlay) plus a pointer to the table it was seeded from, so
+// a seeded interner resolves content by walking that chain — O(chain depth)
+// map probes per intern instead of an O(arena) index rebuild per update. The
+// chain is flattened into one index every maxIndexDepth generations, so both
+// the walk and the retained history stay bounded.
 package resultset
+
+import "sync"
+
+// maxIndexDepth bounds the index chain: a freeze that would exceed it builds
+// a flat index instead (amortizing the O(results) scan over that many
+// updates) and drops the chain.
+const maxIndexDepth = 16
 
 // Table is a frozen interned result table: result label l spans
 // ids[offsets[l]:offsets[l+1]].
 type Table struct {
 	ids     []int32
 	offsets []uint32 // len = NumResults()+1, offsets[0] == 0, ascending
+
+	// Hash index chain, used only by interners seeded from this table.
+	// local maps content hash -> labels this generation added (for a flat
+	// table: every label); base is the seed table whose index covers the
+	// rest. Both are immutable after construction; flatOnce lazily builds
+	// local for flat tables that were assembled without one (NewTable).
+	local    map[uint64][]uint32
+	base     *Table
+	depth    int
+	flatOnce sync.Once
 }
 
 // NewTable assembles a table from raw CSR arrays, validating the structural
@@ -80,6 +105,24 @@ func (t *Table) IDs() []int32 { return t.ids }
 // offsets), for space accounting.
 func (t *Table) PayloadBytes() int { return 4*len(t.ids) + 4*len(t.offsets) }
 
+// ensureFlatIndex builds the full hash index of a flat table that was
+// assembled without one (NewTable, or a pre-chaining serialization round
+// trip). Safe for concurrent callers; a no-op on tables that already carry
+// their index.
+func (t *Table) ensureFlatIndex() {
+	t.flatOnce.Do(func() {
+		if t.local != nil || t.base != nil {
+			return
+		}
+		m := make(map[uint64][]uint32, t.NumResults())
+		for l := 0; l < t.NumResults(); l++ {
+			h := hashIDs(t.Result(uint32(l)))
+			m[h] = append(m[h], uint32(l))
+		}
+		t.local = m
+	})
+}
+
 // fnv-1a over the little-endian bytes of each id.
 const (
 	fnvOffset = 14695981039346656037
@@ -114,40 +157,43 @@ func equalIDs(a, b []int32) bool {
 type Interner struct {
 	ids     []int32
 	offsets []uint32
-	index   map[uint64][]uint32 // content hash -> candidate labels
+	base    *Table              // seed table; its index chain covers the seeded labels
+	overlay map[uint64][]uint32 // content hash -> labels interned by THIS interner
 }
 
 // NewInterner returns an empty interner.
 func NewInterner() *Interner {
-	return &Interner{
-		offsets: []uint32{0},
-		index:   make(map[uint64][]uint32),
-	}
+	return &Interner{offsets: []uint32{0}}
 }
 
 // NewInternerFrom seeds an interner with every result of an existing table.
 // The arena is shared, not copied: the slices are capacity-clamped so the
 // first append reallocates instead of overwriting the source table. Existing
 // labels stay valid, so copy-on-write callers can carry unchanged cells'
-// labels over verbatim and intern only the cells they touched.
+// labels over verbatim and intern only the cells they touched. Dedup against
+// the seeded results rides the table's index chain — seeding costs two
+// struct allocations, never a scan.
 func NewInternerFrom(t *Table) *Interner {
-	in := &Interner{
+	return &Interner{
 		ids:     t.ids[:len(t.ids):len(t.ids)],
 		offsets: t.offsets[:len(t.offsets):len(t.offsets)],
-		index:   make(map[uint64][]uint32, t.NumResults()),
+		base:    t,
 	}
-	for l := 0; l < t.NumResults(); l++ {
-		h := hashIDs(t.Result(uint32(l)))
-		in.index[h] = append(in.index[h], uint32(l))
-	}
-	return in
 }
 
 // Intern returns the label of ids, appending it to the arena if its content
 // has not been seen before. nil and empty slices intern to the same label.
 func (in *Interner) Intern(ids []int32) uint32 {
 	h := hashIDs(ids)
-	for _, l := range in.index[h] {
+	for t := in.base; t != nil; t = t.base {
+		t.ensureFlatIndex()
+		for _, l := range t.local[h] {
+			if equalIDs(in.Result(l), ids) {
+				return l
+			}
+		}
+	}
+	for _, l := range in.overlay[h] {
 		if equalIDs(in.Result(l), ids) {
 			return l
 		}
@@ -155,7 +201,10 @@ func (in *Interner) Intern(ids []int32) uint32 {
 	label := uint32(len(in.offsets) - 1)
 	in.ids = append(in.ids, ids...)
 	in.offsets = append(in.offsets, uint32(len(in.ids)))
-	in.index[h] = append(in.index[h], label)
+	if in.overlay == nil {
+		in.overlay = make(map[uint64][]uint32)
+	}
+	in.overlay[h] = append(in.overlay[h], label)
 	return label
 }
 
@@ -169,12 +218,43 @@ func (in *Interner) Result(label uint32) []int32 {
 // NumResults returns the number of distinct results interned so far.
 func (in *Interner) NumResults() int { return len(in.offsets) - 1 }
 
+// frozenOverlay returns an immutable snapshot of the overlay: a fresh map
+// with capacity-clamped bucket slices, so the interner's later appends
+// reallocate instead of mutating state a frozen table (possibly read
+// concurrently) can see.
+func (in *Interner) frozenOverlay() map[uint64][]uint32 {
+	if in.overlay == nil {
+		return nil
+	}
+	m := make(map[uint64][]uint32, len(in.overlay))
+	for h, ls := range in.overlay {
+		m[h] = ls[:len(ls):len(ls)]
+	}
+	return m
+}
+
 // Table freezes the interner's current contents into an immutable Table.
 // The arena is shared; the interner may keep interning afterwards without
-// invalidating the returned table.
+// invalidating the returned table. The table carries the interner's overlay
+// as its index segment, chained to the seed table — unless the chain has
+// reached maxIndexDepth, in which case the whole index is rebuilt flat.
 func (in *Interner) Table() *Table {
-	return &Table{
+	t := &Table{
 		ids:     in.ids[:len(in.ids):len(in.ids)],
 		offsets: in.offsets[:len(in.offsets):len(in.offsets)],
 	}
+	if in.base == nil || in.base.depth+1 > maxIndexDepth {
+		// Flat freeze. A fresh build's overlay already indexes every label;
+		// a flattening freeze rescans once to fold the chain away.
+		if in.base == nil {
+			t.local = in.frozenOverlay()
+		}
+		// Otherwise leave local nil: ensureFlatIndex rebuilds on first use,
+		// so a table nothing ever interns from never pays the scan.
+		return t
+	}
+	t.base = in.base
+	t.depth = in.base.depth + 1
+	t.local = in.frozenOverlay()
+	return t
 }

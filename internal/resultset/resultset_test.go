@@ -158,3 +158,34 @@ func TestZeroAllocResult(t *testing.T) {
 		t.Fatalf("Table.Result allocates %.1f/op, want 0", allocs)
 	}
 }
+
+// TestSeededCarryAllocs pins the copy-on-write seam the incremental
+// maintenance paths ride on. Seeding an interner from a table and freezing it
+// again without interning — the shape of an update whose cells all carry
+// their labels over — must cost exactly the two wrapper structs, never a scan
+// of the seeded results (the hash index is lazy). And once the index is up,
+// re-interning content the seed already holds allocates nothing.
+func TestSeededCarryAllocs(t *testing.T) {
+	in := NewInterner()
+	for i := 0; i < 512; i++ {
+		in.Intern([]int32{int32(i), int32(i + 1), int32(i + 2)})
+	}
+	table := in.Table()
+	carry := testing.AllocsPerRun(1000, func() {
+		NewInternerFrom(table).Table()
+	})
+	if carry > 2 {
+		t.Fatalf("seed+freeze with no interns: %v allocs, want at most the two wrapper structs", carry)
+	}
+
+	seeded := NewInternerFrom(table)
+	seeded.Intern([]int32{0, 1, 2}) // first intern builds the lazy index
+	reintern := testing.AllocsPerRun(1000, func() {
+		if l := seeded.Intern([]int32{7, 8, 9}); l != 7 {
+			t.Fatalf("re-intern of seeded content moved its label: %d", l)
+		}
+	})
+	if reintern != 0 {
+		t.Fatalf("re-intern of seeded content: %v allocs, want 0", reintern)
+	}
+}

@@ -76,6 +76,8 @@ func TestChaosRandomFaultHammer(t *testing.T) {
 	if err := faultinject.Activate(
 		"server.query=error:chaos@0.15;" +
 			"server.update.rebuild=error:chaos@0.25;" +
+			"server.update.coalesce=error:chaos@0.1;" +
+			"core.update.incremental=error:chaos@0.1;" +
 			"server.update.derive=latency:2ms@0.5"); err != nil {
 		t.Fatal(err)
 	}
@@ -478,5 +480,98 @@ func TestChaosUpdateShedBeforeStateChange(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("retry of shed insert: status %d, want 201", resp.StatusCode)
+	}
+}
+
+// TestChaosBatchAtomicity pins the coalesced-write failure contract: when the
+// incremental maintenance pass fails mid-batch, the WHOLE batch sheds — every
+// op in it gets a 500, the published snapshot is pointer-identical to the
+// pre-batch one (readers never glimpse a partial batch), no swap is counted,
+// and retrying every op afterwards succeeds, proving none of them half-applied.
+func TestChaosBatchAtomicity(t *testing.T) {
+	defer faultinject.Deactivate()
+	h, err := New(dataset.Hotels(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	before := h.snapshot()
+	swapsBefore := h.swaps.Value()
+
+	// Hold the writer slot so the three writers can only enqueue; once all
+	// three are pending, release the slot and one leader claims them as a
+	// single batch deterministically.
+	h.updateSlot <- struct{}{}
+
+	// Fail the first incremental Apply of the batch: ApplyBatch aborts, and
+	// the server must fail every claimed op without touching the snapshot.
+	if err := faultinject.Activate("core.update.incremental=error:batch-chaos#1"); err != nil {
+		t.Fatal(err)
+	}
+
+	bodies := []string{
+		`{"id":700001,"coords":[150,150]}`,
+		`{"id":700002,"coords":[151,151]}`,
+		`{"id":700003,"coords":[152,152]}`,
+	}
+	statuses := make(chan int, len(bodies))
+	for _, body := range bodies {
+		go func(body string) {
+			resp, err := http.Post(srv.URL+"/v1/points", "application/json", strings.NewReader(body))
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}(body)
+	}
+	waitFor(t, time.Second, func() bool {
+		h.pendMu.Lock()
+		defer h.pendMu.Unlock()
+		return len(h.pending) == len(bodies)
+	})
+	<-h.updateSlot // release: a leader claims all three as one batch
+
+	for range bodies {
+		if code := <-statuses; code != http.StatusInternalServerError {
+			t.Fatalf("op in failed batch: status %d, want 500 for the whole batch", code)
+		}
+	}
+	if h.snapshot() != before {
+		t.Fatal("failed batch changed the published snapshot")
+	}
+	if got := h.swaps.Value(); got != swapsBefore {
+		t.Fatalf("failed batch counted a snapshot swap: %d -> %d", swapsBefore, got)
+	}
+
+	// The fault budget is exhausted; every op retries cleanly — a 409 here
+	// would mean part of the failed batch leaked into the state.
+	faultinject.Deactivate()
+	for _, body := range bodies {
+		resp, err := http.Post(srv.URL+"/v1/points", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("retry after failed batch: status %d, want 201", resp.StatusCode)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached before deadline")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

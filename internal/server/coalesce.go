@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// Write coalescing. Inserts and deletes enqueue a pendingOp; whichever
+// writer acquires the writer slot becomes the batch leader, claims up to
+// MaxCoalesce queued ops FIFO, folds them through one incremental
+// maintenance pass (core.DiagramSet.ApplyBatch) and one snapshot swap, and
+// delivers each op its own result — so a burst of writers pays one
+// maintenance pass instead of one per op, while 409/404 attribution stays
+// per-op (a rejected op is skipped inside the batch, it does not poison its
+// neighbours).
+//
+// Shedding keeps the strict before-any-state-change guarantee of the
+// pre-coalescing path: a waiter whose deadline expires withdraws its op, but
+// only while the op is still unclaimed. Once a leader has claimed the op the
+// waiter blocks for the authoritative result even past its deadline, because
+// the batch may already have applied it — answering 503 then would lie about
+// a write that took effect.
+
+// pendingOp is one queued write and its result channel (buffered; each op
+// receives exactly one result from the leader that claims it).
+type pendingOp struct {
+	op   core.Op
+	done chan opResult
+}
+
+type opResult struct {
+	points int
+	err    error
+}
+
+// submitOp runs one insert/delete through the coalescing queue end to end:
+// enqueue, then either lead a batch or wait for another leader to deliver
+// the result. The slot wait is bounded by ctx (Config.UpdateWait plus the
+// client's own deadline) exactly like the pre-coalescing writer path.
+func (h *Handler) submitOp(ctx context.Context, op core.Op) (int, error) {
+	h.queueDepth.Add(1)
+	defer h.queueDepth.Add(-1)
+	if h.updateWait > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.updateWait)
+		defer cancel()
+	}
+	po := &pendingOp{op: op, done: make(chan opResult, 1)}
+	h.pendMu.Lock()
+	h.pending = append(h.pending, po)
+	h.pendMu.Unlock()
+	for {
+		select {
+		case res := <-po.done:
+			return res.points, res.err
+		case h.updateSlot <- struct{}{}:
+			// Leader: run one batch (which may or may not include po if the
+			// queue is longer than MaxCoalesce), then re-check for a result.
+			h.runBatch()
+		case <-ctx.Done():
+			if h.withdraw(po) {
+				h.shed.Inc()
+				return 0, fmt.Errorf("%w: %v", errUpdateShed, ctx.Err())
+			}
+			// Already claimed by a leader: the op may be applied, so the
+			// shed path is no longer safe. Wait for the real result.
+			res := <-po.done
+			return res.points, res.err
+		}
+	}
+}
+
+// withdraw removes a still-unclaimed op from the queue, reporting whether it
+// was found (false means a leader claimed it first).
+func (h *Handler) withdraw(po *pendingOp) bool {
+	h.pendMu.Lock()
+	defer h.pendMu.Unlock()
+	for i, q := range h.pending {
+		if q == po {
+			h.pending = append(h.pending[:i], h.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// runBatch claims and applies one coalesced batch. The caller must hold the
+// writer slot; runBatch releases it. A batch failure fails every claimed op
+// and leaves the published snapshot untouched — readers never observe a
+// partial batch, and the whole batch either swaps in atomically or sheds.
+func (h *Handler) runBatch() {
+	defer func() { <-h.updateSlot }()
+	if h.coalesceDelay > 0 {
+		// Let a write burst accumulate so one pass absorbs it.
+		time.Sleep(h.coalesceDelay)
+	}
+	h.pendMu.Lock()
+	k := len(h.pending)
+	if k > h.maxCoalesce {
+		k = h.maxCoalesce
+	}
+	if k == 0 {
+		h.pendMu.Unlock()
+		return
+	}
+	batch := make([]*pendingOp, k)
+	copy(batch, h.pending[:k])
+	rest := copy(h.pending, h.pending[k:])
+	for i := rest; i < len(h.pending); i++ {
+		h.pending[i] = nil
+	}
+	h.pending = h.pending[:rest]
+	h.pendMu.Unlock()
+
+	h.updateStart.Set(float64(time.Now().UnixNano()) / 1e9)
+	defer h.updateStart.Set(0)
+	fail := func(err error) {
+		for _, po := range batch {
+			po.done <- opResult{err: err}
+		}
+	}
+
+	start := time.Now()
+	if err := faultinject.Hit("server.update.coalesce"); err != nil {
+		fail(fmt.Errorf("%w: %v", errRebuildFailed, err))
+		return
+	}
+	base := h.snapshot()
+	if err := faultinject.Hit("server.update.derive"); err != nil {
+		fail(fmt.Errorf("%w: %v", errRebuildFailed, err))
+		return
+	}
+	if h.rebuildHook != nil {
+		h.rebuildHook()
+	}
+	ops := make([]core.Op, len(batch))
+	for i, po := range batch {
+		ops[i] = po.op
+	}
+	set := base.diagramSet()
+	next, results, err := set.ApplyBatch(ops, h.updateOpts())
+	if err != nil {
+		fail(fmt.Errorf("%w: %v", errRebuildFailed, err))
+		return
+	}
+	if err := faultinject.Hit("server.update.rebuild"); err != nil {
+		fail(fmt.Errorf("%w: %v", errRebuildFailed, err))
+		return
+	}
+	if next != set {
+		// At least one op applied: publish one snapshot for the whole batch.
+		st := stateFromSet(next)
+		h.mu.Lock()
+		h.setState(st)
+		h.mu.Unlock()
+		h.swaps.Inc()
+	}
+	h.coalesced.Add(int64(len(batch)))
+	h.batchSize.Observe(float64(len(batch)))
+	h.rebuildLat.ObserveDuration(time.Since(start))
+	for i, po := range batch {
+		po.done <- opResult{points: results[i].Points, err: results[i].Err}
+	}
+}
+
+// updateOpts assembles the core maintenance options for one batch pass.
+func (h *Handler) updateOpts() core.UpdateOptions {
+	return core.UpdateOptions{
+		MaxDynamicPoints: h.maxDynamic,
+		Workers:          h.workers,
+		Metrics:          h.reg,
+		FullRebuild:      h.fullRebuild,
+		ObserveKind: func(kind string, elapsed time.Duration) {
+			h.reg.Histogram("skyserve_rebuild_seconds",
+				"Update rebuild duration in seconds, by diagram kind (total = whole update).",
+				"kind", kind).ObserveDuration(elapsed)
+		},
+	}
+}
+
+// diagramSet views a snapshot as a core.DiagramSet for maintenance.
+func (st *state) diagramSet() *core.DiagramSet {
+	return &core.DiagramSet{
+		Points:   st.points,
+		Quadrant: st.quadrant,
+		Global:   st.global,
+		Dynamic:  st.dynamic,
+	}
+}
+
+// stateFromSet assembles a publishable snapshot from a maintained set.
+func stateFromSet(set *core.DiagramSet) *state {
+	return &state{
+		points:   set.Points,
+		quadrant: set.Quadrant,
+		global:   set.Global,
+		dynamic:  set.Dynamic,
+		frags:    pointFrags(set.Points),
+	}
+}

@@ -234,7 +234,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		`# TYPE skyserve_http_request_seconds histogram`,
 		`skyserve_http_request_seconds_count{endpoint="/v1/skyline"} 6`,
 		`# TYPE skydiag_build_seconds histogram`,
-		`skydiag_builds_total{kind="global"} 2`, // initial build + insert rebuild
+		// Incremental maintenance: the insert derives the global diagram
+		// from the previous snapshot instead of rebuilding, so only the
+		// initial build counts.
+		`skydiag_builds_total{kind="global"} 1`,
+		`skyserve_coalesced_writes_total 1`,
+		`skyserve_coalesce_batch_size_count 1`,
 		`skyserve_cells{kind="quadrant"}`,
 	} {
 		if !strings.Contains(out, want) {

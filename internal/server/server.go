@@ -63,7 +63,6 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -110,6 +109,19 @@ type Config struct {
 	// BEFORE any state changes, so a shed update is always safe to retry.
 	// 0 means the default of 10s; negative waits forever.
 	UpdateWait time.Duration
+	// MaxCoalesce caps how many queued inserts/deletes one maintenance pass
+	// may fold into a single snapshot swap. 0 means the default of 64;
+	// negative disables coalescing (every op runs its own pass).
+	MaxCoalesce int
+	// CoalesceDelay makes a batch leader wait this long before claiming the
+	// queue, letting a write burst accumulate so one pass absorbs it. Adds
+	// that much latency to every write; 0 (the default) claims immediately,
+	// which already coalesces whatever queued behind the previous pass.
+	CoalesceDelay time.Duration
+	// FullRebuild disables incremental maintenance of the global and
+	// dynamic diagrams: every write rebuilds them from scratch, the
+	// pre-incremental behavior. An escape hatch and benchmark baseline.
+	FullRebuild bool
 	// Metrics receives the handler's instrumentation. nil means a fresh
 	// registry, retrievable via Handler.Metrics.
 	Metrics *metrics.Registry
@@ -120,6 +132,7 @@ const (
 	DefaultMaxInFlight = 256
 	DefaultMaxQueue    = 512
 	DefaultUpdateWait  = 10 * time.Second
+	DefaultMaxCoalesce = 64
 	// retryAfterSeconds is the backoff hint sent with every 429/503 shed
 	// response.
 	retryAfterSeconds = "1"
@@ -211,6 +224,16 @@ type Handler struct {
 	// for making rebuilds artificially slow without touching the build code.
 	rebuildHook func()
 
+	// Write coalescing (see coalesce.go): queued ops awaiting a batch
+	// leader, guarded by pendMu.
+	pendMu        sync.Mutex
+	pending       []*pendingOp
+	maxCoalesce   int
+	coalesceDelay time.Duration
+	fullRebuild   bool
+	coalesced     *metrics.Counter   // writes applied through coalesced batches
+	batchSize     *metrics.Histogram // ops per coalesced batch
+
 	mu sync.RWMutex // guards st; held only for pointer reads and swaps
 	st *state
 }
@@ -224,24 +247,15 @@ var errRebuildFailed = errors.New("rebuild failed")
 var errUpdateShed = errors.New("update shed: writer queue wait exceeded")
 
 func (h *Handler) buildState(pts []geom.Point) (*state, error) {
-	opts := core.Options{Metrics: h.reg, Workers: h.workers}
-	quad, err := core.BuildQuadrant(pts, opts)
+	set, err := core.BuildSet(pts, core.UpdateOptions{
+		MaxDynamicPoints: h.maxDynamic,
+		Workers:          h.workers,
+		Metrics:          h.reg,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("server: build quadrant: %w", err)
+		return nil, fmt.Errorf("server: %w", err)
 	}
-	glob, err := core.BuildGlobal(pts, opts)
-	if err != nil {
-		return nil, fmt.Errorf("server: build global: %w", err)
-	}
-	st := &state{points: pts, quadrant: quad, global: glob, frags: pointFrags(pts)}
-	if len(pts) <= h.maxDynamic {
-		dyn, err := core.BuildDynamic(pts, opts)
-		if err != nil {
-			return nil, fmt.Errorf("server: build dynamic: %w", err)
-		}
-		st.dynamic = dyn
-	}
-	return st, nil
+	return stateFromSet(set), nil
 }
 
 // New builds the diagrams and the routing table.
@@ -261,19 +275,28 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 	if cfg.UpdateWait == 0 {
 		cfg.UpdateWait = DefaultUpdateWait
 	}
+	if cfg.MaxCoalesce == 0 {
+		cfg.MaxCoalesce = DefaultMaxCoalesce
+	}
+	if cfg.MaxCoalesce < 0 {
+		cfg.MaxCoalesce = 1
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
 	h := &Handler{
-		maxDynamic:   cfg.MaxDynamicPoints,
-		maxBatch:     cfg.MaxBatch,
-		maxBatchBody: batchBodyLimit(cfg.MaxBatch),
-		workers:      cfg.Workers,
-		updateWait:   cfg.UpdateWait,
-		updateSlot:   make(chan struct{}, 1),
-		start:        time.Now(),
-		reg:          reg,
+		maxDynamic:    cfg.MaxDynamicPoints,
+		maxBatch:      cfg.MaxBatch,
+		maxBatchBody:  batchBodyLimit(cfg.MaxBatch),
+		workers:       cfg.Workers,
+		updateWait:    cfg.UpdateWait,
+		updateSlot:    make(chan struct{}, 1),
+		maxCoalesce:   cfg.MaxCoalesce,
+		coalesceDelay: cfg.CoalesceDelay,
+		fullRebuild:   cfg.FullRebuild,
+		start:         time.Now(),
+		reg:           reg,
 		requests: reg.Counter("skyserve_requests_total",
 			"HTTP requests served, all endpoints."),
 		swaps: reg.Counter("skyserve_snapshot_swaps_total",
@@ -296,6 +319,10 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 			"Requests currently executing on concurrency-limited endpoints."),
 		waitDepth: reg.Gauge("skyserve_queue_depth",
 			"Requests waiting for an execution slot on concurrency-limited endpoints."),
+		coalesced: reg.Counter("skyserve_coalesced_writes_total",
+			"Writes applied through coalesced maintenance batches."),
+		batchSize: reg.Histogram("skyserve_coalesce_batch_size",
+			"Ops folded into one coalesced maintenance batch (count = batches)."),
 	}
 	if cfg.MaxInFlight > 0 {
 		h.slots = make(chan struct{}, cfg.MaxInFlight)
@@ -766,13 +793,7 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	p := geom.Point{ID: req.ID, Coords: req.Coords}
 
-	n, err := h.applyUpdate(r.Context(), func(base *state) (*core.QuadrantDiagram, []geom.Point, error) {
-		quad, err := base.quadrant.WithInsert(p)
-		if err != nil {
-			return nil, nil, err
-		}
-		return quad, append(append([]geom.Point(nil), base.points...), p), nil
-	})
+	n, err := h.submitOp(r.Context(), core.InsertOp(p))
 	if err != nil {
 		writeUpdateError(w, err, http.StatusConflict)
 		return
@@ -780,10 +801,10 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]int{"points": n})
 }
 
-// writeUpdateError maps an applyUpdate failure: a shed wait is 503 +
-// Retry-After (nothing was applied; safe to retry), a rebuild failure is a
-// 500, and a rejected derivation gets the caller's status (409 duplicate,
-// 404 unknown id).
+// writeUpdateError maps a submitOp failure: a shed wait is 503 +
+// Retry-After (nothing was applied; safe to retry), a batch failure is a
+// 500, and a rejected op gets the caller's status (409 duplicate, 404
+// unknown id).
 func writeUpdateError(w http.ResponseWriter, err error, deriveStatus int) {
 	switch {
 	case errors.Is(err, errUpdateShed):
@@ -802,125 +823,10 @@ func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid id")
 		return
 	}
-	n, err := h.applyUpdate(r.Context(), func(base *state) (*core.QuadrantDiagram, []geom.Point, error) {
-		quad, err := base.quadrant.WithDelete(id)
-		if err != nil {
-			return nil, nil, err
-		}
-		pts := make([]geom.Point, 0, len(base.points))
-		for _, p := range base.points {
-			if p.ID != id {
-				pts = append(pts, p)
-			}
-		}
-		return quad, pts, nil
-	})
+	n, err := h.submitOp(r.Context(), core.DeleteOp(id))
 	if err != nil {
 		writeUpdateError(w, err, http.StatusNotFound)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"points": n})
-}
-
-// applyUpdate runs one insert/delete end to end without ever blocking
-// readers: derive computes the incrementally maintained quadrant diagram and
-// the new point set from the base snapshot, the global/dynamic diagrams are
-// rebuilt concurrently, and only the final pointer swap takes the snapshot
-// lock. The writer slot serializes writers so each derives from the snapshot
-// the previous writer published. A derive error is returned as-is (the
-// caller maps it to 409/404); rebuild errors are wrapped in errRebuildFailed.
-//
-// The wait for the writer slot is bounded by ctx (Config.UpdateWait plus the
-// client's own deadline): a writer stuck behind a wedged rebuild gives up
-// with errUpdateShed — strictly before reading or modifying any state — so
-// the caller can answer 503 + Retry-After and the client can retry safely,
-// knowing the shed update was never applied. Once the slot is held, the
-// update always runs to completion; it is never torn down halfway.
-func (h *Handler) applyUpdate(ctx context.Context, derive func(base *state) (*core.QuadrantDiagram, []geom.Point, error)) (int, error) {
-	h.queueDepth.Add(1)
-	defer h.queueDepth.Add(-1)
-	if h.updateWait > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, h.updateWait)
-		defer cancel()
-	}
-	select {
-	case h.updateSlot <- struct{}{}:
-	case <-ctx.Done():
-		h.shed.Inc()
-		return 0, fmt.Errorf("%w: %v", errUpdateShed, ctx.Err())
-	}
-	defer func() { <-h.updateSlot }()
-	h.updateStart.Set(float64(time.Now().UnixNano()) / 1e9)
-	defer h.updateStart.Set(0)
-
-	start := time.Now()
-	base := h.snapshot()
-	t0 := time.Now()
-	if err := faultinject.Hit("server.update.derive"); err != nil {
-		return 0, fmt.Errorf("%w: %v", errRebuildFailed, err)
-	}
-	quad, pts, err := derive(base)
-	if err != nil {
-		return 0, err
-	}
-	h.reg.Histogram("skyserve_rebuild_seconds",
-		"Update rebuild duration in seconds, by diagram kind (total = whole update).",
-		"kind", "quadrant").ObserveDuration(time.Since(t0))
-	if h.rebuildHook != nil {
-		h.rebuildHook()
-	}
-	if err := faultinject.Hit("server.update.rebuild"); err != nil {
-		return 0, fmt.Errorf("%w: %v", errRebuildFailed, err)
-	}
-	next, err := h.rebuildAround(quad, pts)
-	if err != nil {
-		return 0, fmt.Errorf("%w: %v", errRebuildFailed, err)
-	}
-	h.mu.Lock()
-	h.setState(next)
-	h.mu.Unlock()
-	h.swaps.Inc()
-	h.rebuildLat.ObserveDuration(time.Since(start))
-	return len(pts), nil
-}
-
-// rebuildAround assembles the next snapshot: the incrementally maintained
-// quadrant diagram plus freshly built global/dynamic diagrams, the two
-// rebuilds running concurrently (the dynamic diagram is the expensive one;
-// the global rebuild hides entirely behind it).
-func (h *Handler) rebuildAround(quad *core.QuadrantDiagram, pts []geom.Point) (*state, error) {
-	opts := core.Options{Metrics: h.reg, Workers: h.workers}
-	next := &state{points: pts, quadrant: quad, frags: pointFrags(pts)}
-
-	var wg sync.WaitGroup
-	var globErr, dynErr error
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		t0 := time.Now()
-		next.global, globErr = core.BuildGlobal(pts, opts)
-		h.reg.Histogram("skyserve_rebuild_seconds",
-			"Update rebuild duration in seconds, by diagram kind (total = whole update).",
-			"kind", "global").ObserveDuration(time.Since(t0))
-	}()
-	if len(pts) <= h.maxDynamic {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t0 := time.Now()
-			next.dynamic, dynErr = core.BuildDynamic(pts, opts)
-			h.reg.Histogram("skyserve_rebuild_seconds",
-				"Update rebuild duration in seconds, by diagram kind (total = whole update).",
-				"kind", "dynamic").ObserveDuration(time.Since(t0))
-		}()
-	}
-	wg.Wait()
-	if globErr != nil {
-		return nil, globErr
-	}
-	if dynErr != nil {
-		return nil, dynErr
-	}
-	return next, nil
 }

@@ -119,6 +119,70 @@ func TestReadersNotBlockedDuringRebuild(t *testing.T) {
 	}
 }
 
+// TestWritesCoalesceIntoOneBatch pins the happy path of write coalescing: a
+// burst of queued writers folds into ONE maintenance pass and ONE snapshot
+// swap, each writer still gets its own 201, and the coalescing metrics
+// account for the batch. The writer slot is held to stage the burst
+// deterministically, exactly like the chaos atomicity test.
+func TestWritesCoalesceIntoOneBatch(t *testing.T) {
+	h, err := New(dataset.Hotels(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	swapsBefore := h.swaps.Value()
+	h.updateSlot <- struct{}{} // park the writers in the queue
+
+	const n = 5
+	statuses := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			resp, err := http.Post(srv.URL+"/v1/points", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"id":%d,"coords":[%d,%d]}`, 800000+i, 150+i, 150-i)))
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}(i)
+	}
+	waitFor(t, time.Second, func() bool {
+		h.pendMu.Lock()
+		defer h.pendMu.Unlock()
+		return len(h.pending) == n
+	})
+	<-h.updateSlot // one leader claims all n as a single batch
+
+	for i := 0; i < n; i++ {
+		if code := <-statuses; code != http.StatusCreated {
+			t.Fatalf("coalesced insert: status %d, want 201", code)
+		}
+	}
+	if got := h.swaps.Value() - swapsBefore; got != 1 {
+		t.Fatalf("coalesced burst swapped %d snapshots, want exactly 1", got)
+	}
+	if got := h.coalesced.Value(); got != n {
+		t.Fatalf("skyserve_coalesced_writes_total = %d, want %d", got, n)
+	}
+	snap := h.batchSize.Snapshot()
+	if snap.Count != 1 || snap.Sum != n {
+		t.Fatalf("batch size histogram: count=%d sum=%g, want one batch of %d", snap.Count, snap.Sum, n)
+	}
+	// All five landed: they form an anti-chain in the quadrant above
+	// (149.5, 145.5), well outside the hotel data, so the query returns
+	// exactly the five batch inserts.
+	var sky skylineResponse
+	if code := getJSON(t, srv.URL+"/v1/skyline?x=149.5&y=145.5", &sky); code != 200 {
+		t.Fatalf("query after coalesced batch: code %d", code)
+	}
+	if len(sky.IDs) != n {
+		t.Fatalf("query after coalesced batch = %v, want the %d batch inserts", sky.IDs, n)
+	}
+}
+
 // TestBatchBodyLimitBoundaries pins the body-cap derivation: the default
 // MaxBatch stays on the 4 MiB floor, and a larger MaxBatch raises the cap
 // proportionally instead of 413-ing legitimate requests.

@@ -1,10 +1,16 @@
 #!/bin/sh
 # Runs the serving-hot-loop benchmark families with -benchmem and writes the
 # results to BENCH_serve.json ({name, ns_per_op, b_per_op, allocs_per_op}
-# per benchmark). Exits non-zero if any benchmark in the zero-allocation
-# contract (BenchmarkQuery* in internal/core, BenchmarkEncode* in
-# internal/server) reports a nonzero allocs/op — that contract is what the
-# read path's latency depends on, so CI fails on the regression by name.
+# per benchmark). Exits non-zero on either regression gate:
+#
+#   - zero-allocation contract: any BenchmarkQuery* (internal/core) or
+#     BenchmarkEncode* (internal/server) reporting a nonzero allocs/op —
+#     that contract is what the read path's latency depends on;
+#   - maintenance contract: BenchmarkUpdateIncremental not at least 3x
+#     faster than BenchmarkUpdateFullRebuild (internal/core) — incremental
+#     maintenance regressing toward rebuild-shaped costs (the measured
+#     headroom is ~15x; see EXPERIMENTS.md E18 for the serving-layer
+#     write-throughput figure).
 #
 #   ./scripts/bench.sh              # full run, writes BENCH_serve.json
 #   BENCHTIME=10x ./scripts/bench.sh  # quick smoke (CI uses this)
@@ -17,7 +23,7 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 echo "== bench (benchtime=$benchtime)"
-go test -run '^$' -bench 'BenchmarkQuery|BenchmarkEncode' -benchmem \
+go test -run '^$' -bench 'BenchmarkQuery|BenchmarkEncode|BenchmarkUpdate' -benchmem \
     -benchtime "$benchtime" ./internal/core/ ./internal/server/ | tee "$tmp"
 
 awk '
@@ -32,11 +38,20 @@ awk '
     if (n++) printf ",\n"
     printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", \
         name, ns, bytes, allocs
-    if (allocs + 0 > 0) { bad = bad name " (" allocs " allocs/op) " }
+    if (name ~ /^(BenchmarkQuery|BenchmarkEncode)/ && allocs + 0 > 0) {
+        bad = bad name " (" allocs " allocs/op) "
+    }
+    if (name == "BenchmarkUpdateIncremental")  inc = ns
+    if (name == "BenchmarkUpdateFullRebuild") full = ns
 }
 END {
     printf "\n"
     if (bad != "") { print "REGRESSION: " bad > "/dev/stderr"; exit 1 }
+    if (inc + 0 > 0 && full + 0 > 0 && inc * 3 > full) {
+        printf "REGRESSION: incremental update %s ns/op vs %s ns/op rebuild (want >=3x faster)\n", \
+            inc, full > "/dev/stderr"
+        exit 1
+    }
 }' "$tmp" > "$tmp.body" || { rm -f "$tmp.body"; exit 1; }
 
 {
