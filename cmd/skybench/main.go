@@ -1,6 +1,9 @@
 // Command skybench regenerates the paper's evaluation tables (reconstructed
-// suite E1–E10, see DESIGN.md §5). By default it runs every experiment at
-// full scale; -quick shrinks the problem sizes, -exp selects one experiment.
+// suite E1–E10, see DESIGN.md §5) plus this repository's extensions: E11/E12
+// (incremental maintenance), E16/E17 (interned result table, serve-path
+// allocations), and E19 (serving from a memory-mapped diagram file vs an
+// in-memory build). By default it runs every experiment at full scale;
+// -quick shrinks the problem sizes, -exp selects one experiment.
 //
 //	skybench               # full suite
 //	skybench -quick        # small sizes, finishes in seconds
@@ -24,7 +27,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
-	exp := flag.String("exp", "", "run a single experiment (E1..E12, E16, E17)")
+	exp := flag.String("exp", "", "run a single experiment (E1..E12, E16, E17, E19)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	reps := flag.Int("reps", 1, "report the minimum of this many runs per measurement")
 	plotDir := flag.String("plotdir", "", "also write each experiment's figure as <dir>/<ID>.svg")

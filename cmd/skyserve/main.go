@@ -7,6 +7,14 @@
 //
 // Omitting -in serves the paper's 11-hotel running example.
 //
+// Alternatively, -serve-from serves a persisted diagram file (written by
+// `skydiag save`) with no build step at all: the file is memory-mapped
+// (falling back to buffered reads where mmap is unavailable) and queries
+// are answered straight from the mapping. Only the file's diagram kind is
+// served and the dataset is read-only — inserts and deletes answer 501:
+//
+//	skyserve -serve-from diagram.sky -addr :8080
+//
 // Diagram builds run with -workers parallel workers (default: all CPUs; 0
 // forces sequential construction). Inserts and deletes never block queries:
 // all three diagrams are maintained incrementally from the previous snapshot
@@ -46,10 +54,12 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
 	in := flag.String("in", "", "input CSV (default: the paper's hotel example)")
+	serveFrom := flag.String("serve-from", "", "serve a persisted diagram file (mmap'd, read-only) instead of building from -in")
 	addr := flag.String("addr", ":8080", "listen address")
 	maxDyn := flag.Int("max-dynamic", 128, "largest dataset for which the dynamic diagram is built")
 	maxBatch := flag.Int("max-batch", 8192, "largest accepted /v1/skyline/batch query count")
@@ -69,6 +79,8 @@ func main() {
 		"how long a batch leader waits for more writes to queue before applying (adds write latency)")
 	fullRebuild := flag.Bool("full-rebuild", false,
 		"rebuild the global/dynamic diagrams from scratch on every write instead of maintaining them incrementally")
+	compactRatio := flag.Float64("compact-ratio", server.DefaultCompactRatio,
+		"arena garbage fraction that triggers off-lock compaction after a write batch (-1 disables)")
 	faults := flag.String("faults", os.Getenv(faultinject.EnvVar),
 		"fault-injection spec, e.g. 'store.ReadAt=error@0.01;server.query=latency:5ms' (default: $"+faultinject.EnvVar+"; testing only)")
 	flag.Parse()
@@ -80,23 +92,7 @@ func main() {
 		log.Printf("skyserve: FAULT INJECTION ACTIVE: %s", *faults)
 	}
 
-	var pts []geom.Point
-	if *in == "" {
-		pts = dataset.Hotels()
-	} else {
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		loaded, err := dataset.ReadCSV(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		pts = loaded
-	}
-
-	h, err := server.New(pts, server.Config{
+	cfg := server.Config{
 		MaxDynamicPoints: *maxDyn,
 		MaxBatch:         *maxBatch,
 		Workers:          *workers,
@@ -106,9 +102,51 @@ func main() {
 		MaxCoalesce:      *maxCoalesce,
 		CoalesceDelay:    *coalesceDelay,
 		FullRebuild:      *fullRebuild,
-	})
-	if err != nil {
-		log.Fatal(err)
+		CompactRatio:     *compactRatio,
+	}
+
+	var h *server.Handler
+	var pts []geom.Point
+	if *serveFrom != "" {
+		if *in != "" {
+			log.Fatal("skyserve: -serve-from and -in are mutually exclusive")
+		}
+		st, err := store.OpenMmap(*serveFrom)
+		if err != nil {
+			log.Fatalf("skyserve: -serve-from: %v", err)
+		}
+		defer st.Close()
+		mode := "mmap"
+		if !st.Mapped() {
+			mode = "buffered reads (mmap unavailable)"
+		}
+		log.Printf("skyserve: serving %s diagram from %s via %s, read-only",
+			st.Kind(), *serveFrom, mode)
+		h, err = server.NewServeFrom(st, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = st.Points()
+	} else {
+		if *in == "" {
+			pts = dataset.Hotels()
+		} else {
+			f, err := os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			loaded, err := dataset.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			pts = loaded
+		}
+		var err error
+		h, err = server.New(pts, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var api http.Handler = h

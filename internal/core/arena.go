@@ -1,0 +1,77 @@
+package core
+
+// Arena garbage accounting and compaction, forwarded from the diagram kinds.
+// Incremental maintenance (Apply/ApplyBatch) is copy-on-write over the
+// interned result tables, so sustained churn strands unreferenced results in
+// the shared arenas; serving layers use ArenaGarbageRatio to decide when to
+// swap in a compacted set.
+
+// ArenaLive returns the referenced and total arena id counts of the wrapped
+// diagram's result table.
+func (d *QuadrantDiagram) ArenaLive() (live, total int) { return d.d.ArenaLive() }
+
+// CompactArena returns an equivalent diagram over a garbage-free arena.
+func (d *QuadrantDiagram) CompactArena() *QuadrantDiagram {
+	return &QuadrantDiagram{d: d.d.CompactArena(), byID: d.byID}
+}
+
+// ArenaLive returns the referenced and total arena id counts across the
+// global diagram's merged and per-quadrant tables.
+func (d *GlobalDiagram) ArenaLive() (live, total int) { return d.d.ArenaLive() }
+
+// CompactArena returns an equivalent diagram over garbage-free arenas.
+func (d *GlobalDiagram) CompactArena() *GlobalDiagram {
+	return &GlobalDiagram{d: d.d.CompactArena(), byID: d.byID}
+}
+
+// ArenaLive returns the referenced and total arena id counts of the wrapped
+// diagram's result table.
+func (d *DynamicDiagram) ArenaLive() (live, total int) { return d.d.ArenaLive() }
+
+// CompactArena returns an equivalent diagram over a garbage-free arena.
+func (d *DynamicDiagram) CompactArena() *DynamicDiagram {
+	return &DynamicDiagram{d: d.d.CompactArena(), byID: d.byID}
+}
+
+// ArenaLive sums the arena usage of every diagram in the set.
+func (s *DiagramSet) ArenaLive() (live, total int) {
+	if s.Quadrant != nil {
+		l, t := s.Quadrant.ArenaLive()
+		live, total = live+l, total+t
+	}
+	if s.Global != nil {
+		l, t := s.Global.ArenaLive()
+		live, total = live+l, total+t
+	}
+	if s.Dynamic != nil {
+		l, t := s.Dynamic.ArenaLive()
+		live, total = live+l, total+t
+	}
+	return live, total
+}
+
+// ArenaGarbageRatio returns the fraction of the set's arenas holding
+// unreferenced results, in [0, 1].
+func (s *DiagramSet) ArenaGarbageRatio() float64 {
+	live, total := s.ArenaLive()
+	if total == 0 {
+		return 0
+	}
+	return float64(total-live) / float64(total)
+}
+
+// CompactArenas returns an equivalent set whose arenas hold no garbage. The
+// receiver is unchanged; answers are identical cell for cell.
+func (s *DiagramSet) CompactArenas() *DiagramSet {
+	ns := &DiagramSet{Points: s.Points}
+	if s.Quadrant != nil {
+		ns.Quadrant = s.Quadrant.CompactArena()
+	}
+	if s.Global != nil {
+		ns.Global = s.Global.CompactArena()
+	}
+	if s.Dynamic != nil {
+		ns.Dynamic = s.Dynamic.CompactArena()
+	}
+	return ns
+}

@@ -1,0 +1,30 @@
+package dyndiag
+
+import "repro/internal/resultset"
+
+// ArenaLive returns the number of arena ids referenced by some subcell and
+// the total arena size; the difference is garbage left by copy-on-write
+// maintenance (WithInsert/WithDelete).
+func (d *Diagram) ArenaLive() (live, total int) {
+	if d.results == nil {
+		return 0, 0
+	}
+	return resultset.LiveArena(d.labels, d.results)
+}
+
+// CompactArena returns an equivalent diagram over a garbage-free result
+// table, relabelled in first-use order — byte-identical to what a rebuild
+// would intern. The receiver is unchanged.
+func (d *Diagram) CompactArena() *Diagram {
+	if d.results == nil {
+		return d
+	}
+	labels, table := resultset.CompactLabels(d.labels, d.results)
+	return &Diagram{
+		Points:  d.Points,
+		Sub:     d.Sub,
+		labels:  labels,
+		results: table,
+		rows:    d.rows,
+	}
+}

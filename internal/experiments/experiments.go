@@ -662,7 +662,7 @@ func E10(c Config) Table {
 // All runs every experiment in order. (E13–E15 are testing.B benchmarks in
 // the repository root, not table drivers; their ids are skipped here.)
 func All(c Config) []Table {
-	return []Table{E1(c), E2(c), E3(c), E4(c), E5(c), E6(c), E7(c), E8(c), E9(c), E10(c), E11(c), E12(c), E16(c), E17(c)}
+	return []Table{E1(c), E2(c), E3(c), E4(c), E5(c), E6(c), E7(c), E8(c), E9(c), E10(c), E11(c), E12(c), E16(c), E17(c), E19(c)}
 }
 
 // ByID returns the experiment driver with the given id.
@@ -670,7 +670,7 @@ func ByID(id string) (func(Config) Table, bool) {
 	m := map[string]func(Config) Table{
 		"E1": E1, "E2": E2, "E3": E3, "E4": E4, "E5": E5,
 		"E6": E6, "E7": E7, "E8": E8, "E9": E9, "E10": E10,
-		"E11": E11, "E12": E12, "E16": E16, "E17": E17,
+		"E11": E11, "E12": E12, "E16": E16, "E17": E17, "E19": E19,
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok
@@ -678,7 +678,7 @@ func ByID(id string) (func(Config) Table, bool) {
 
 // IDs lists the experiment ids in order.
 func IDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E16", "E17"}
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E16", "E17", "E19"}
 }
 
 // E11 measures incremental maintenance (WithInsert / WithDelete) against a

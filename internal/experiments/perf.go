@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sort"
 	"testing"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/dyndiag"
 	"repro/internal/quaddiag"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // E16 and E17 measure the interned-CSR read path introduced for the serving
@@ -261,5 +264,86 @@ func E17(c Config) Table {
 			fmt.Sprintf("%.0f", batchAllocs), fmt.Sprintf("%.1f", batchAllocs/float64(batchSize)),
 			fmt.Sprintf("%.2f", float64(batchLat.Nanoseconds())/1000)})
 	}
+	return t
+}
+
+// E19 measures the serve-from-file path against an in-memory build: replica
+// bootstrap cost (build vs open) and per-query latency through the in-memory
+// diagram, the memory-mapped store (rank-table locate + label load from the
+// mapping), and the buffered ReadAt store (the mmap fallback). Every path is
+// first asserted to answer identically over a probe sweep.
+func E19(c Config) Table {
+	n, s := 600, 2048
+	samples, batch := 300, 200
+	if c.Quick {
+		n, s = 150, 256
+		samples, batch = 60, 50
+	}
+	t := Table{
+		ID:    "E19",
+		Title: fmt.Sprintf("serving from a mapped diagram file vs in-memory build (quadrant n=%d/s=%d)", n, s),
+		Expected: "opening the file costs microseconds where the build costs milliseconds; " +
+			"mapped queries stay within a small factor of in-memory (one page load vs one slice load)",
+		Header: []string{"serving_path", "bootstrap_ms", "q_p50_us", "q_p99_us", "identical"},
+	}
+	us := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1000) }
+	pts := GenDomain(dataset.Independent, n, s, c.seed())
+
+	var d *quaddiag.Diagram
+	buildTime := c.time(func() {
+		var err error
+		d, err = quaddiag.BuildScanning(pts)
+		if err != nil {
+			panic(err)
+		}
+	})
+	dir, err := os.MkdirTemp("", "skyline-e19-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "diagram.sky")
+	if err := store.CreateFile(path, d); err != nil {
+		panic(err)
+	}
+
+	var mapped, buffered *store.Store
+	mmapTime := c.time(func() {
+		if mapped != nil {
+			mapped.Close()
+		}
+		mapped, err = store.OpenMmap(path)
+		if err != nil {
+			panic(err)
+		}
+	})
+	defer mapped.Close()
+	openTime := c.time(func() {
+		if buffered != nil {
+			buffered.Close()
+		}
+		buffered, err = store.Open(path)
+		if err != nil {
+			panic(err)
+		}
+	})
+	defer buffered.Close()
+
+	xmax, ymax := float64(s), float64(s)
+	assertSameResults("mmap", xmax, ymax, d.QueryXY, mapped.QueryXY)
+	assertSameResults("readat", xmax, ymax, d.QueryXY, buffered.QueryXY)
+
+	row := func(name string, boot time.Duration, q func(x, y float64) []int32) {
+		p50, p99 := latencyPercentiles(samples, batch, xmax, ymax, q)
+		t.Rows = append(t.Rows, []string{name,
+			fmt.Sprintf("%.3f", float64(boot.Microseconds())/1000), us(p50), us(p99), "yes"})
+	}
+	row("in-memory build", buildTime, d.QueryXY)
+	mappedName := "mmap file"
+	if !mapped.Mapped() {
+		mappedName = "mmap file (fell back to ReadAt)"
+	}
+	row(mappedName, mmapTime, mapped.QueryXY)
+	row("readat file", openTime, buffered.QueryXY)
 	return t
 }

@@ -33,14 +33,20 @@ type Grid struct {
 	// Column i spans [Xs[i-1], Xs[i]) with the convention Xs[-1] = -inf,
 	// so there are len(Xs)+1 columns and len(Ys)+1 rows.
 	Xs, Ys []float64
+
+	// O(1) point-location tables (see Rank). nil on struct-literal grids,
+	// which fall back to the binary search.
+	xrank, yrank *Rank
 }
 
 // NewGrid builds the cell grid of pts (two-dimensional).
 func NewGrid(pts []geom.Point) *Grid {
-	return &Grid{
+	g := &Grid{
 		Xs: geom.SortedAxis(pts, 0),
 		Ys: geom.SortedAxis(pts, 1),
 	}
+	g.xrank, g.yrank = NewRank(g.Xs), NewRank(g.Ys)
+	return g
 }
 
 // Cols returns the number of cell columns, len(Xs)+1.
@@ -80,12 +86,17 @@ func (g *Grid) CellRect(i, j int) geom.Rect {
 
 // Locate returns the cell indices containing query q.
 func (g *Grid) Locate(q geom.Point) (i, j int) {
-	return locate(g.Xs, q.X()), locate(g.Ys, q.Y())
+	return g.LocateXY(q.X(), q.Y())
 }
 
 // LocateXY is Locate without the geom.Point wrapper — the serving hot path
-// calls it straight from parsed query coordinates.
+// calls it straight from parsed query coordinates. With rank tables (any
+// NewGrid-built grid) each axis is O(1): two adjacent prefix loads on the
+// fast path.
 func (g *Grid) LocateXY(x, y float64) (i, j int) {
+	if g.xrank != nil {
+		return g.xrank.Rank(x), g.yrank.Rank(y)
+	}
 	return locate(g.Xs, x), locate(g.Ys, y)
 }
 
@@ -151,7 +162,9 @@ type SubGrid struct {
 	Points []geom.Point
 	XLines []Line // sorted by V
 	YLines []Line
-	xs, ys []float64 // cached V slices for binary search
+	xs, ys []float64 // cached V slices for point location
+	xrank  *Rank     // O(1) point-location tables over xs/ys; nil on
+	yrank  *Rank     // struct-literal subgrids (binary-search fallback)
 }
 
 // NewSubGrid builds the subcell grid: per axis, the distinct values among
@@ -163,6 +176,7 @@ func NewSubGrid(pts []geom.Point) *SubGrid {
 	sg.YLines = buildLines(pts, 1)
 	sg.xs = lineValues(sg.XLines)
 	sg.ys = lineValues(sg.YLines)
+	sg.xrank, sg.yrank = NewRank(sg.xs), NewRank(sg.ys)
 	return sg
 }
 
@@ -221,11 +235,15 @@ func (sg *SubGrid) NumSubcells() int { return sg.Cols() * sg.Rows() }
 
 // Locate returns the subcell indices containing q.
 func (sg *SubGrid) Locate(q geom.Point) (i, j int) {
-	return locate(sg.xs, q.X()), locate(sg.ys, q.Y())
+	return sg.LocateXY(q.X(), q.Y())
 }
 
-// LocateXY is Locate without the geom.Point wrapper.
+// LocateXY is Locate without the geom.Point wrapper. O(1) per axis via the
+// rank tables on any NewSubGrid-built subgrid.
 func (sg *SubGrid) LocateXY(x, y float64) (i, j int) {
+	if sg.xrank != nil {
+		return sg.xrank.Rank(x), sg.yrank.Rank(y)
+	}
 	return locate(sg.xs, x), locate(sg.ys, y)
 }
 
@@ -277,14 +295,16 @@ func repCoord(vs []float64, i int) float64 {
 
 // HyperGrid is the d-dimensional skyline (hyper)cell grid of Section IV-E.
 type HyperGrid struct {
-	Axes [][]float64 // sorted distinct values per axis
+	Axes  [][]float64 // sorted distinct values per axis
+	ranks []*Rank     // per-axis O(1) point location; nil on struct literals
 }
 
 // NewHyperGrid builds the hyper-cell grid of pts.
 func NewHyperGrid(pts []geom.Point, dim int) *HyperGrid {
-	hg := &HyperGrid{Axes: make([][]float64, dim)}
+	hg := &HyperGrid{Axes: make([][]float64, dim), ranks: make([]*Rank, dim)}
 	for a := 0; a < dim; a++ {
 		hg.Axes[a] = geom.SortedAxis(pts, a)
+		hg.ranks[a] = NewRank(hg.Axes[a])
 	}
 	return hg
 }
@@ -331,7 +351,11 @@ func (hg *HyperGrid) Locate(q geom.Point) ([]int, error) {
 	}
 	idx := make([]int, hg.Dim())
 	for a := range idx {
-		idx[a] = locate(hg.Axes[a], q.Coords[a])
+		if hg.ranks != nil {
+			idx[a] = hg.ranks[a].Rank(q.Coords[a])
+		} else {
+			idx[a] = locate(hg.Axes[a], q.Coords[a])
+		}
 	}
 	return idx, nil
 }

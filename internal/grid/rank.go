@@ -1,0 +1,133 @@
+package grid
+
+import "math"
+
+// Rank is a dense rank table over one axis's sorted distinct grid values: it
+// answers locate (the number of values <= v, i.e. the half-open cell index)
+// in O(1) on the fast path instead of a branchy O(log n) binary search.
+//
+// The layout follows the quantized point-location idea of "Skyline Queries in
+// O(1) time?" (arXiv:1709.03949), in the Elias-Fano style: the value range
+// [vs[0], vs[n-1]] is cut into B ≈ 4n uniform buckets, and prefix[b] holds a
+// monotone count of grid values whose bucket index is < b (exactly the EF
+// upper-bits bucket histogram). A query quantizes v to its bucket b with one
+// subtract+multiply+truncate and loads the two adjacent counts:
+//
+//   - prefix[b] == prefix[b+1]: the bucket holds no grid value, so every value
+//     <= v is in a strictly lower bucket — the answer is prefix[b]. With ~4
+//     buckets per value this is the overwhelmingly common case: two array
+//     loads total.
+//   - otherwise the bucket is "dirty" (one or more grid lines quantize into
+//     it) and the answer is refined by a binary search over just that
+//     bucket's value run vs[prefix[b]:prefix[b+1]] — almost always a single
+//     value, so the fallback slot costs one extra comparison.
+//
+// Quantization uses the exact same float expression at build and query time,
+// and int((v-lo)*scale) is monotone in v (subtraction and multiplication by a
+// positive constant are correctly rounded and order-preserving, truncation of
+// non-negative floats is monotone), so a value in a lower bucket is strictly
+// below every value of a higher bucket. That makes the prefix counts exact
+// rather than approximate.
+//
+// Boundary behavior matches locate bit for bit (differentially tested and
+// fuzzed in rank_test.go):
+//
+//   - NaN: !(v >= lo) catches every NaN comparison, answer 0 — the documented
+//     "NaN lands in cell 0" contract of locate.
+//   - v < vs[0] (including -inf): answer 0 via the same guard.
+//   - v >= vs[n-1] (including +inf and a query exactly on the last grid
+//     line): answer n.
+//   - a query exactly on any other grid line quantizes into that value's
+//     (dirty) bucket and the in-bucket search applies the <= convention, so
+//     on-line queries take the upper/right cell as documented.
+//
+// Degenerate axes — fewer than two values, NaN or infinite endpoints, zero
+// span (all values equal after dedup cannot happen, but a denormal span can
+// round scale to +inf) — leave prefix nil and Rank falls back to the binary
+// search, preserving exact legacy behavior.
+type Rank struct {
+	vs     []float64
+	prefix []uint32
+	lo, hi float64
+	scale  float64
+}
+
+const (
+	// rankBucketsPerValue trades memory (4 bytes per bucket) for the dirty
+	// bucket rate; 4x oversampling keeps dirty hits rare on realistic axes.
+	rankBucketsPerValue = 4
+	// rankMaxBuckets caps the table at 16 MiB of prefix counts no matter how
+	// many grid lines an axis has (SubGrid axes are O(n^2)).
+	rankMaxBuckets = 1 << 22
+)
+
+// NewRank builds the rank table for vs, which must be sorted ascending with
+// distinct values (geom.SortedAxis output). The slice is retained, not
+// copied. Always returns a usable table; degenerate inputs get a table that
+// transparently falls back to binary search.
+func NewRank(vs []float64) *Rank {
+	r := &Rank{vs: vs}
+	n := len(vs)
+	if n < 2 {
+		return r
+	}
+	lo, hi := vs[0], vs[n-1]
+	span := hi - lo
+	if !(span > 0) || math.IsInf(span, 0) {
+		return r // NaN endpoints, infinite values, or a zero-width axis
+	}
+	nb := n * rankBucketsPerValue
+	if nb > rankMaxBuckets {
+		nb = rankMaxBuckets
+	}
+	scale := float64(nb) / span
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return r // denormal span: quantization would overflow
+	}
+	r.lo, r.hi, r.scale = lo, hi, scale
+	r.prefix = make([]uint32, nb+1)
+	for _, v := range vs {
+		r.prefix[r.bucketOf(v)+1]++
+	}
+	for b := 0; b < nb; b++ {
+		r.prefix[b+1] += r.prefix[b]
+	}
+	return r
+}
+
+// bucketOf quantizes v ∈ [lo, hi] to a bucket index. The clamps absorb the
+// at-most-one-ulp rounding excess of (hi-lo)*scale over the bucket count.
+func (r *Rank) bucketOf(v float64) int {
+	b := int((v - r.lo) * r.scale)
+	if b < 0 {
+		b = 0
+	}
+	if b > len(r.prefix)-2 {
+		b = len(r.prefix) - 2
+	}
+	return b
+}
+
+// Rank returns the number of values <= v — exactly locate(vs, v), including
+// every NaN/±inf/on-grid-line boundary case. Zero allocations.
+func (r *Rank) Rank(v float64) int {
+	if r.prefix == nil {
+		return locate(r.vs, v)
+	}
+	if !(v >= r.lo) {
+		return 0 // NaN or below the first grid value
+	}
+	if v >= r.hi {
+		return len(r.vs)
+	}
+	b := r.bucketOf(v)
+	lo, hi := r.prefix[b], r.prefix[b+1]
+	if lo == hi {
+		return int(lo) // clean bucket: no grid value quantizes here
+	}
+	return int(lo) + locate(r.vs[lo:hi], v)
+}
+
+// Dense reports whether the O(1) fast path is active (false only for
+// degenerate axes, which use the binary-search fallback).
+func (r *Rank) Dense() bool { return r.prefix != nil }

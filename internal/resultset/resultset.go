@@ -153,6 +153,50 @@ func equalIDs(a, b []int32) bool {
 	return true
 }
 
+// LiveArena returns the arena usage of a table as seen by a label array:
+// live is the number of arena ids reachable from some label in labels (each
+// distinct result counted once), total is the whole arena. The difference is
+// garbage left behind by copy-on-write maintenance — results no cell
+// references anymore. O(len(labels) + NumResults).
+func LiveArena(labels []uint32, t *Table) (live, total int) {
+	seen := make([]bool, t.NumResults())
+	for _, l := range labels {
+		if !seen[l] {
+			seen[l] = true
+			live += t.Len(l)
+		}
+	}
+	return live, t.ArenaLen()
+}
+
+// CompactLabels rewrites a label array against a garbage-free copy of its
+// table, assigning new labels in first-use order over labels. Because a
+// fresh build interns cells in exactly that order (row-major) and assigns
+// labels in first-appearance order, the compacted table and label array are
+// byte-identical to what a from-scratch rebuild of the same diagram would
+// produce — compaction is a pure copy, no hashing or recomputation.
+//
+// The input is not modified; the returned table shares nothing with t, so
+// dropping t releases its garbage.
+func CompactLabels(labels []uint32, t *Table) ([]uint32, *Table) {
+	remap := make([]uint32, t.NumResults()) // old label -> new label + 1
+	live, _ := LiveArena(labels, t)
+	newIDs := make([]int32, 0, live)
+	newOffsets := make([]uint32, 1, len(t.offsets))
+	out := make([]uint32, len(labels))
+	for k, l := range labels {
+		nl := remap[l]
+		if nl == 0 {
+			newIDs = append(newIDs, t.Result(l)...)
+			newOffsets = append(newOffsets, uint32(len(newIDs)))
+			nl = uint32(len(newOffsets) - 1)
+			remap[l] = nl
+		}
+		out[k] = nl - 1
+	}
+	return out, &Table{ids: newIDs, offsets: newOffsets}
+}
+
 // Interner hash-conses id lists into a growing CSR table.
 type Interner struct {
 	ids     []int32

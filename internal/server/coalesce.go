@@ -165,6 +165,45 @@ func (h *Handler) runBatch() {
 	for i, po := range batch {
 		po.done <- opResult{points: results[i].Points, err: results[i].Err}
 	}
+	h.maybeCompact()
+}
+
+// maybeCompact reclaims copy-on-write arena garbage once it crosses the
+// configured ratio. Incremental maintenance never rewrites a shared arena in
+// place, so deleted and superseded results accumulate as dead entries; left
+// alone they grow without bound under sustained churn. The batch leader —
+// still holding the writer slot, so no concurrent writer can derive from the
+// pre-compaction snapshot — rewrites the arenas in first-use order entirely
+// outside the read lock, then publishes the compacted snapshot with one more
+// pointer swap. Answers are unchanged (only dead entries are dropped), and
+// the point set is identical, so the JSON fragments carry over verbatim.
+func (h *Handler) maybeCompact() {
+	if h.compactRatio <= 0 {
+		return
+	}
+	base := h.snapshot()
+	if base.stored != nil {
+		return
+	}
+	set := base.diagramSet()
+	if set.ArenaGarbageRatio() < h.compactRatio {
+		return
+	}
+	start := time.Now()
+	next := set.CompactArenas()
+	st := &state{
+		points:   next.Points,
+		quadrant: next.Quadrant,
+		global:   next.Global,
+		dynamic:  next.Dynamic,
+		frags:    base.frags,
+	}
+	h.mu.Lock()
+	h.setState(st)
+	h.mu.Unlock()
+	h.compactions.Inc()
+	h.reg.Histogram("skyserve_compact_seconds",
+		"Arena compaction duration in seconds.").ObserveDuration(time.Since(start))
 }
 
 // updateOpts assembles the core maintenance options for one batch pass.

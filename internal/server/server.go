@@ -1,7 +1,10 @@
 // Package server exposes precomputed skyline diagrams over HTTP — the
 // serving shape of the paper's precompute-then-lookup design: one process
 // builds the diagrams, every replica answers skyline queries with a point
-// location each.
+// location each. A replica can skip the build entirely: NewServeFrom
+// serves a persisted diagram file (ideally memory-mapped via
+// store.OpenMmap) as a read-only snapshot — only the file's kind is
+// served, writes answer 501.
 //
 // Endpoints:
 //
@@ -79,6 +82,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // Config controls which diagrams the handler builds.
@@ -122,6 +126,14 @@ type Config struct {
 	// dynamic diagrams: every write rebuilds them from scratch, the
 	// pre-incremental behavior. An escape hatch and benchmark baseline.
 	FullRebuild bool
+	// CompactRatio triggers arena compaction: incremental maintenance
+	// copies-on-write, so deleted and superseded skyline results accumulate
+	// as garbage in the interned result arenas. When the garbage fraction
+	// (dead arena entries / total) reaches this ratio after a maintenance
+	// batch, the batch leader compacts the arenas off-lock and publishes the
+	// compacted snapshot with one more pointer swap. 0 means the default of
+	// 0.5; negative disables compaction.
+	CompactRatio float64
 	// Metrics receives the handler's instrumentation. nil means a fresh
 	// registry, retrievable via Handler.Metrics.
 	Metrics *metrics.Registry
@@ -129,10 +141,11 @@ type Config struct {
 
 // Overload-protection defaults; see Config.
 const (
-	DefaultMaxInFlight = 256
-	DefaultMaxQueue    = 512
-	DefaultUpdateWait  = 10 * time.Second
-	DefaultMaxCoalesce = 64
+	DefaultMaxInFlight  = 256
+	DefaultMaxQueue     = 512
+	DefaultUpdateWait   = 10 * time.Second
+	DefaultMaxCoalesce  = 64
+	DefaultCompactRatio = 0.5
 	// retryAfterSeconds is the backoff hint sent with every 429/503 shed
 	// response.
 	retryAfterSeconds = "1"
@@ -162,6 +175,12 @@ type state struct {
 	quadrant *core.QuadrantDiagram
 	global   *core.GlobalDiagram
 	dynamic  *core.DynamicDiagram // nil when disabled
+	// stored, when non-nil, is a serve-from snapshot: every query of
+	// storedKind is answered straight from the (ideally memory-mapped)
+	// diagram file, the in-memory diagrams above are all nil, and writes are
+	// rejected — the file IS the snapshot.
+	stored     *storeDiagram
+	storedKind string
 	// frags holds each point's JSON object ({"id":..,"coords":[..]}) encoded
 	// once at snapshot build, so the query hot path assembles responses by
 	// copying bytes instead of marshalling. Rebuilt on every snapshot swap —
@@ -233,6 +252,12 @@ type Handler struct {
 	fullRebuild   bool
 	coalesced     *metrics.Counter   // writes applied through coalesced batches
 	batchSize     *metrics.Histogram // ops per coalesced batch
+	compactRatio  float64            // arena garbage fraction that triggers compaction; <=0 disables
+	compactions   *metrics.Counter   // arena compactions performed
+
+	// readOnly marks a serve-from handler: the snapshot is a diagram file,
+	// inserts and deletes answer 501.
+	readOnly bool
 
 	mu sync.RWMutex // guards st; held only for pointer reads and swaps
 	st *state
@@ -260,6 +285,45 @@ func (h *Handler) buildState(pts []geom.Point) (*state, error) {
 
 // New builds the diagrams and the routing table.
 func New(pts []geom.Point, cfg Config) (*Handler, error) {
+	h := newHandler(cfg)
+	st, err := h.buildState(pts)
+	if err != nil {
+		return nil, err
+	}
+	h.setState(st)
+	h.initRoutes()
+	return h, nil
+}
+
+// NewServeFrom serves skyline queries directly from a persisted diagram
+// file opened as st — typically via store.OpenMmap, so the snapshot IS the
+// mapped file: no diagram build, no materialization, queries resolve by
+// rank-table point location plus a label load from the mapping. Only the
+// file's kind is served (the file holds exactly one diagram); other kinds
+// and all writes answer 501. The caller keeps ownership of st and must not
+// close it while the handler serves.
+func NewServeFrom(st *store.Store, cfg Config) (*Handler, error) {
+	kind := st.Kind()
+	if kind == "" {
+		return nil, errors.New("server: store has unknown diagram kind")
+	}
+	h := newHandler(cfg)
+	h.readOnly = true
+	pts := st.Points()
+	sd := &storeDiagram{st: st, byID: indexPoints(pts)}
+	h.setState(&state{
+		points:     pts,
+		stored:     sd,
+		storedKind: kind,
+		frags:      pointFrags(pts),
+	})
+	h.initRoutes()
+	return h, nil
+}
+
+// newHandler applies config defaults and registers the metric families —
+// everything except the initial snapshot and the routing table.
+func newHandler(cfg Config) *Handler {
 	if cfg.MaxDynamicPoints == 0 {
 		cfg.MaxDynamicPoints = 128
 	}
@@ -281,6 +345,9 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 	if cfg.MaxCoalesce < 0 {
 		cfg.MaxCoalesce = 1
 	}
+	if cfg.CompactRatio == 0 {
+		cfg.CompactRatio = DefaultCompactRatio
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -295,6 +362,7 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 		maxCoalesce:   cfg.MaxCoalesce,
 		coalesceDelay: cfg.CoalesceDelay,
 		fullRebuild:   cfg.FullRebuild,
+		compactRatio:  cfg.CompactRatio,
 		start:         time.Now(),
 		reg:           reg,
 		requests: reg.Counter("skyserve_requests_total",
@@ -323,6 +391,8 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 			"Writes applied through coalesced maintenance batches."),
 		batchSize: reg.Histogram("skyserve_coalesce_batch_size",
 			"Ops folded into one coalesced maintenance batch (count = batches)."),
+		compactions: reg.Counter("skyserve_compactions_total",
+			"Arena compactions triggered by the garbage-ratio policy."),
 	}
 	if cfg.MaxInFlight > 0 {
 		h.slots = make(chan struct{}, cfg.MaxInFlight)
@@ -330,11 +400,12 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 			h.maxQueue = int64(cfg.MaxQueue)
 		}
 	}
-	st, err := h.buildState(pts)
-	if err != nil {
-		return nil, err
-	}
-	h.setState(st)
+	return h
+}
+
+// initRoutes builds the routing table. Callers must have published the
+// initial snapshot first.
+func (h *Handler) initRoutes() {
 	mux := http.NewServeMux()
 	// Liveness and metrics bypass the limiter: they must answer while the
 	// service sheds load, or overload becomes invisible exactly when it
@@ -348,7 +419,6 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 	mux.HandleFunc("POST /v1/points", h.instrument("/v1/points", h.limit(h.handleInsert)))
 	mux.HandleFunc("DELETE /v1/points/{id}", h.instrument("/v1/points/{id}", h.limit(h.handleDelete)))
 	h.mux = mux
-	return h, nil
 }
 
 // limit applies the bounded-queue concurrency limiter: up to MaxInFlight
@@ -405,16 +475,21 @@ func (h *Handler) setState(st *state) {
 	h.st = st
 	h.reg.Gauge("skyserve_points", "Points in the served dataset.").
 		Set(float64(len(st.points)))
-	h.reg.Gauge("skyserve_cells", "Grid cells in the served diagram, by kind.",
-		"kind", "quadrant").Set(float64(st.quadrant.Grid().NumCells()))
-	h.reg.Gauge("skyserve_cells", "Grid cells in the served diagram, by kind.",
-		"kind", "global").Set(float64(st.global.Grid().NumCells()))
+	cells := func(kind string, n float64) {
+		h.reg.Gauge("skyserve_cells", "Grid cells in the served diagram, by kind.",
+			"kind", kind).Set(n)
+	}
+	if st.stored != nil {
+		cells(st.storedKind, float64(st.stored.st.NumCells()))
+		return
+	}
+	cells("quadrant", float64(st.quadrant.Grid().NumCells()))
+	cells("global", float64(st.global.Grid().NumCells()))
 	sub := 0.0
 	if st.dynamic != nil {
 		sub = float64(st.dynamic.SubGrid().NumSubcells())
 	}
-	h.reg.Gauge("skyserve_cells", "Grid cells in the served diagram, by kind.",
-		"kind", "dynamic").Set(sub)
+	cells("dynamic", sub)
 }
 
 func (h *Handler) snapshot() *state {
@@ -528,19 +603,25 @@ type statsResponse struct {
 
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := h.snapshot()
-	st, err := snap.quadrant.Stats()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
 	resp := statsResponse{
 		Points:         len(snap.points),
-		Cells:          st.Cells,
-		Polyominoes:    st.Polyominoes,
 		DynamicEnabled: snap.dynamic != nil,
 		UptimeSeconds:  time.Since(h.start).Seconds(),
 		RequestsTotal:  h.requests.Value(),
 		SnapshotSwaps:  h.swaps.Value(),
+	}
+	switch {
+	case snap.stored != nil:
+		resp.Cells = snap.stored.st.NumCells()
+		resp.DynamicEnabled = snap.storedKind == "dynamic"
+	default:
+		st, err := snap.quadrant.Stats()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		resp.Cells = st.Cells
+		resp.Polyominoes = st.Polyominoes
 	}
 	if snap.dynamic != nil {
 		resp.Subcells = snap.dynamic.SubGrid().NumSubcells()
@@ -588,6 +669,44 @@ type skylineResponse struct {
 // for the dynamic diagram.
 var errDynamicDisabled = errors.New("dynamic diagram disabled for this dataset size")
 
+// errKindNotServed marks queries for a kind the serve-from snapshot file
+// does not contain (each file holds exactly one diagram).
+var errKindNotServed = errors.New("kind not present in the served snapshot file")
+
+// errReadOnly marks writes against a serve-from handler.
+var errReadOnly = errors.New("server is serving a read-only snapshot file")
+
+// storeDiagram adapts a persisted diagram file to core.Diagram, so the
+// query handlers serve a mapped file through the exact same code path as an
+// in-memory diagram. QueryXY on a mapped v3 store is allocation-free: two
+// rank-table lookups plus a label load from the mapping.
+type storeDiagram struct {
+	st   *store.Store
+	byID map[int32]geom.Point
+}
+
+func (sd *storeDiagram) Query(q geom.Point) []int32   { return sd.st.QueryXY(q.X(), q.Y()) }
+func (sd *storeDiagram) QueryXY(x, y float64) []int32 { return sd.st.QueryXY(x, y) }
+
+func (sd *storeDiagram) QueryPoints(q geom.Point) []geom.Point {
+	ids := sd.st.QueryXY(q.X(), q.Y())
+	out := make([]geom.Point, 0, len(ids))
+	for _, id := range ids {
+		if p, ok := sd.byID[id]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func indexPoints(pts []geom.Point) map[int32]geom.Point {
+	m := make(map[int32]geom.Point, len(pts))
+	for _, p := range pts {
+		m[int32(p.ID)] = p
+	}
+	return m
+}
+
 // normalizeKind canonicalizes the kind parameter. Every path that accepts a
 // kind goes through here, so an unknown value is always a 400 with a JSON
 // error — never a silent fallthrough.
@@ -605,6 +724,12 @@ func normalizeKind(raw string) (string, error) {
 
 // diagramFor selects the diagram answering the (already normalized) kind.
 func (st *state) diagramFor(kind string) (core.Diagram, error) {
+	if st.stored != nil {
+		if kind == st.storedKind {
+			return st.stored, nil
+		}
+		return nil, fmt.Errorf("%w (file contains kind %q)", errKindNotServed, st.storedKind)
+	}
 	switch kind {
 	case "quadrant":
 		return st.quadrant, nil
@@ -670,7 +795,7 @@ func (h *Handler) handleSkyline(w http.ResponseWriter, r *http.Request) {
 }
 
 func statusForKindErr(err error) int {
-	if errors.Is(err, errDynamicDisabled) {
+	if errors.Is(err, errDynamicDisabled) || errors.Is(err, errKindNotServed) {
 		return http.StatusNotImplemented
 	}
 	return http.StatusBadRequest
@@ -777,6 +902,10 @@ type insertRequest struct {
 }
 
 func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if h.readOnly {
+		writeError(w, http.StatusNotImplemented, errReadOnly.Error())
+		return
+	}
 	var req insertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
@@ -818,6 +947,10 @@ func writeUpdateError(w http.ResponseWriter, err error, deriveStatus int) {
 }
 
 func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if h.readOnly {
+		writeError(w, http.StatusNotImplemented, errReadOnly.Error())
+		return
+	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid id")

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// Platforms without the unix mmap syscalls: OpenMmap degrades gracefully to
+// the ReadAt page-cache path.
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(_ []byte) error { return nil }

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dyndiag"
+	"repro/internal/geom"
+	"repro/internal/quaddiag"
+)
+
+// churnQuadrant applies a few inserts and deletes so the diagram carries
+// copy-on-write arena garbage, returning the maintained diagram.
+func churnQuadrant(t *testing.T, d *quaddiag.Diagram) *quaddiag.Diagram {
+	t.Helper()
+	var err error
+	for k := 0; k < 6; k++ {
+		d, err = d.WithInsert(geom.Pt2(5000+k, float64(7*k%23)+0.5, float64(11*k%19)+0.25))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []int{5000, 5002, 3, 7} {
+		d, err = d.WithDelete(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// TestPersistMaintainedByteIdentical pins the satellite-1 contract: writing
+// a maintained (incrementally updated) snapshot must produce the exact same
+// bytes as writing a from-scratch rebuild of the same point set. The writer
+// reuses the live frozen table and canonicalizes it with a first-use-order
+// copy — no re-freeze, no re-interning — so the two paths converge
+// byte-for-byte.
+func TestPersistMaintainedByteIdentical(t *testing.T) {
+	dm := churnQuadrant(t, buildDiagram(t, 40, 51))
+	if live, total := dm.ArenaLive(); live >= total {
+		t.Fatalf("test premise broken: maintained diagram has no garbage (live %d, total %d)", live, total)
+	}
+	rebuilt, err := quaddiag.BuildScanning(dm.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	if err := Write(&got, dm); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&want, rebuilt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("maintained snapshot persisted to %d bytes differing from the %d-byte rebuild persist",
+			got.Len(), want.Len())
+	}
+}
+
+// TestPersistMaintainedDynamicByteIdentical is the dynamic-kind counterpart.
+func TestPersistMaintainedDynamicByteIdentical(t *testing.T) {
+	pts := buildDiagram(t, 10, 53).Points
+	dm, err := dyndiag.BuildScanning(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		dm, err = dm.WithInsert(geom.Pt2(6000+k, float64(13*k%17)+0.5, float64(5*k%13)+0.75))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []int{6001, 2} {
+		dm, err = dm.WithDelete(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt, err := dyndiag.BuildScanning(dm.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	if err := WriteDynamic(&got, dm); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDynamic(&want, rebuilt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("maintained dynamic snapshot persisted to %d bytes differing from the %d-byte rebuild persist",
+			got.Len(), want.Len())
+	}
+}
+
+// TestPersistHeavilyChurnedSnapshotOpens is the regression for the original
+// defect's visible failure: under enough churn the live table accumulates
+// more (mostly garbage) results than the diagram has cells, and persisting
+// that arena verbatim produced a file loadArena rejects as corrupt. The
+// writer now compacts, so persist-after-heavy-update round-trips.
+func TestPersistHeavilyChurnedSnapshotOpens(t *testing.T) {
+	d := buildDiagram(t, 25, 57)
+	var err error
+	for k := 0; k < 40; k++ {
+		p := geom.Pt2(9000+k, float64(3*k%11)+0.1, float64(5*k%13)+0.2)
+		d, err = d.WithInsert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err = d.WithDelete(9000 + k)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "churned.sky")
+	if err := CreateFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("persisted maintained snapshot failed to open: %v", err)
+	}
+	defer s.Close()
+	for i := 0; i < d.Grid.Cols(); i++ {
+		for j := 0; j < d.Grid.Rows(); j++ {
+			got, err := s.Cell(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalI32(got, d.Cell(i, j)) {
+				t.Fatalf("cell (%d,%d): stored %v, live %v", i, j, got, d.Cell(i, j))
+			}
+		}
+	}
+}
+
+// TestCompactArenaAnswersUnchanged: compaction is answer-preserving and
+// actually reclaims the garbage.
+func TestCompactArenaAnswersUnchanged(t *testing.T) {
+	dm := churnQuadrant(t, buildDiagram(t, 30, 59))
+	cd := dm.CompactArena()
+	if live, total := cd.ArenaLive(); live != total {
+		t.Fatalf("compacted diagram still has garbage: live %d, total %d", live, total)
+	}
+	if !cd.Equal(dm) {
+		t.Fatal("compacted diagram answers differ from the original")
+	}
+}
+
+func equalI32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

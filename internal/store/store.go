@@ -31,6 +31,13 @@
 // including a torn write that stopped mid-file — turns into ErrCorrupt
 // instead of a wrong skyline.
 //
+// OpenMmap serves the same file zero-copy from a read-only memory map: label
+// pages become subslices of the map (no cache, no lock, no per-read CRC —
+// the trailer verification at open covers them), point location is O(1) via
+// rank tables over the rebuilt grid lines, and QueryXY answers with zero
+// allocations. That makes a persisted v3 file directly servable: a replica
+// maps it and answers queries with no build and no materialization step.
+//
 // CreateFile is crash-safe: it writes to a temporary file in the target's
 // directory, fsyncs it, renames it into place, and fsyncs the directory, so
 // a crash at any instant leaves either the previous generation or the new
@@ -41,6 +48,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -108,12 +116,40 @@ func WriteDynamic(w io.Writer, d *dyndiag.Diagram) error {
 	return writeCSR(w, d.Points, labels, table, d.Sub.Cols(), d.Sub.Rows(), kindDynamic)
 }
 
+// canonicalCSR reports whether labels reference every table result exactly
+// in first-appearance order — the shape a fresh build's freeze produces. A
+// maintained (copy-on-write updated) diagram fails this: its arena carries
+// garbage results no cell references anymore, and its labels are not in
+// first-use order.
+func canonicalCSR(labels []uint32, table *resultset.Table) bool {
+	next := uint32(0)
+	for _, l := range labels {
+		if l == next {
+			next++
+		} else if l > next {
+			return false
+		}
+	}
+	return int(next) == table.NumResults()
+}
+
 // writeCSR writes the version-3 format: fixed-size label pages plus one
 // arena section holding the interned result table.
+//
+// The live frozen table is reused verbatim when it is already canonical (a
+// fresh build). A maintained snapshot is canonicalized first with a pure
+// first-use-order copy (resultset.CompactLabels) — never a re-freeze — so
+// persist-after-update costs one arena copy, produces bytes identical to
+// persisting a from-scratch rebuild, and never writes maintenance garbage
+// (whose result count can exceed the cell count and would be rejected as
+// corrupt on open).
 func writeCSR(w io.Writer, pts []geom.Point, labels []uint32, table *resultset.Table, cols, rows, kind int) error {
 	numPages := (len(labels) + CellsPerPage - 1) / CellsPerPage
 	if len(labels) == 0 {
 		return fmt.Errorf("store: diagram has no cells")
+	}
+	if !canonicalCSR(labels, table) {
+		labels, table = resultset.CompactLabels(labels, table)
 	}
 
 	raw := bufio.NewWriter(w)
@@ -424,10 +460,21 @@ type Store struct {
 	numPages   int
 	pageIndex  []pageMeta
 	xs, ys     []float64
-	points     []geom.Point
+	// xrank/yrank are O(1) point-location tables over xs/ys (see grid.Rank),
+	// so a stored-diagram query is two array loads plus a label indirection.
+	xrank, yrank *grid.Rank
+	points       []geom.Point
 	// table is the interned result arena, loaded eagerly for version-3
 	// files; Cell resolves a page's label into it without copying.
 	table *resultset.Table
+
+	// mapped, when non-nil, is the read-only memory map of the whole file
+	// (OpenMmap). Pages are served as subslices of it — no cache, no mutex,
+	// no per-read CRC: the whole-file trailer checksum was verified at open,
+	// which transitively covers every page. Only set for version >= 2 files
+	// (version 1 has no trailer, so it keeps the per-page-CRC cache path).
+	mapped   []byte
+	unmapper func([]byte) error
 
 	mu      sync.Mutex
 	cache   *pageCache
@@ -466,6 +513,61 @@ func Open(path string) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
+	s.closer = f
+	return s, nil
+}
+
+// OpenMmap opens a diagram file for zero-copy serving from a read-only
+// memory map: label pages are returned as subslices of the map, with no
+// page cache, no lock, and no per-read checksum — the whole-file trailer is
+// verified once here, which transitively covers every page. The arena and
+// points are still decoded once at open (the file is big-endian, so the
+// int32 arena cannot be aliased on little-endian hosts; it is small next to
+// the label pages).
+//
+// Fallback behavior: on platforms without mmap, on any map failure, or for
+// version-1 files (no trailer, so mapped pages would skip CRC verification),
+// OpenMmap degrades to the ReadAt page-cache path of Open — same answers,
+// same corruption detection. No file descriptor leaks on any error path;
+// Mapped reports which mode is active.
+func OpenMmap(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	data, merr := mmapFile(f, fi.Size())
+	if merr != nil {
+		s, err := NewSized(f, DefaultCacheSize, fi.Size())
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.closer = f
+		return s, nil
+	}
+	s, err := NewSized(bytes.NewReader(data), DefaultCacheSize, fi.Size())
+	if err != nil {
+		_ = munmapFile(data)
+		f.Close()
+		return nil, err
+	}
+	if s.version < versionLegacyCells {
+		// No trailer to vouch for the map: keep the per-page-CRC path.
+		_ = munmapFile(data)
+		s, err = NewSized(f, DefaultCacheSize, fi.Size())
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.closer = f
+		return s, nil
+	}
+	s.mapped, s.unmapper = data, munmapFile
 	s.closer = f
 	return s, nil
 }
@@ -617,6 +719,7 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 		}
 		s.xs, s.ys = g.Xs, g.Ys
 	}
+	s.xrank, s.yrank = grid.NewRank(s.xs), grid.NewRank(s.ys)
 
 	// Page index.
 	idxBuf := make([]byte, s.numPages*indexEntrySz)
@@ -722,12 +825,20 @@ func (s *Store) loadArena(arenaOff, size int64, numPoints int) error {
 	return nil
 }
 
-// Close releases the underlying file when the store owns one.
+// Close releases the memory map (if any) and the underlying file when the
+// store owns one.
 func (s *Store) Close() error {
-	if s.closer != nil {
-		return s.closer.Close()
+	var err error
+	if s.mapped != nil && s.unmapper != nil {
+		err = s.unmapper(s.mapped)
+		s.mapped = nil
 	}
-	return nil
+	if s.closer != nil {
+		if cerr := s.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Points returns the stored dataset.
@@ -736,11 +847,53 @@ func (s *Store) Points() []geom.Point { return s.points }
 // NumCells returns the diagram size.
 func (s *Store) NumCells() int { return s.cols * s.rows }
 
-// Query answers a quadrant skyline query from disk.
+// Kind returns the stored diagram kind, "quadrant" or "dynamic".
+func (s *Store) Kind() string {
+	if s.kind == kindDynamic {
+		return "dynamic"
+	}
+	return "quadrant"
+}
+
+// Mapped reports whether the store serves from a memory map (OpenMmap
+// succeeded) rather than the ReadAt page cache.
+func (s *Store) Mapped() bool { return s.mapped != nil }
+
+// LocateXY returns the cell indices containing (x, y), O(1) via the rank
+// tables. The boundary conventions match the in-memory grids exactly.
+func (s *Store) LocateXY(x, y float64) (i, j int) {
+	return s.xrank.Rank(x), s.yrank.Rank(y)
+}
+
+// Query answers a skyline query from the file.
 func (s *Store) Query(q geom.Point) ([]int32, error) {
-	i := countLE(s.xs, q.X())
-	j := countLE(s.ys, q.Y())
+	i, j := s.LocateXY(q.X(), q.Y())
 	return s.Cell(i, j)
+}
+
+// QueryXY answers a skyline query without the geom.Point wrapper or an
+// error return — the serving hot path. Version-3 stores answer with zero
+// allocations (the result aliases the shared arena); on a mapped store the
+// whole path is lock-free. A nil result means an empty skyline; read errors
+// on the ReadAt path also surface as nil (the paths that can fail per-read
+// are exercised through Query/Cell, which report them).
+func (s *Store) QueryXY(x, y float64) []int32 {
+	i, j := s.LocateXY(x, y)
+	cell := i*s.rows + j
+	if s.mapped != nil && s.version >= 3 {
+		meta := s.pageIndex[cell/CellsPerPage]
+		page := s.mapped[meta.off : meta.off+uint64(meta.length)]
+		label := binary.BigEndian.Uint32(page[4*(cell%CellsPerPage):])
+		if label == noCell || int(label) >= s.table.NumResults() {
+			return nil
+		}
+		return s.table.Result(label)
+	}
+	ids, err := s.Cell(i, j)
+	if err != nil {
+		return nil
+	}
+	return ids
 }
 
 // Cell reads the result of cell (i, j). For version-3 files the returned
@@ -790,6 +943,10 @@ func (s *Store) Cell(i, j int) ([]int32, error) {
 // per-page singleflight ensures concurrent readers of the SAME page share
 // one disk read instead of duplicating it.
 func (s *Store) page(pg int) ([]byte, error) {
+	if s.mapped != nil {
+		meta := s.pageIndex[pg]
+		return s.mapped[meta.off : meta.off+uint64(meta.length)], nil
+	}
 	s.mu.Lock()
 	if b, ok := s.cache.get(pg); ok {
 		s.mu.Unlock()
@@ -886,8 +1043,7 @@ func (s *Store) QueryBatch(qs []geom.Point) ([][]int32, error) {
 	}
 	byPage := make(map[int][]slot)
 	for k, q := range qs {
-		i := countLE(s.xs, q.X())
-		j := countLE(s.ys, q.Y())
+		i, j := s.LocateXY(q.X(), q.Y())
 		cell := i*s.rows + j
 		pg := cell / CellsPerPage
 		byPage[pg] = append(byPage[pg], slot{cell: cell, out: k})
@@ -923,19 +1079,6 @@ func (s *Store) CacheStats() (hits, misses int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cache.hits, s.cache.misses
-}
-
-func countLE(vs []float64, v float64) int {
-	lo, hi := 0, len(vs)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if vs[mid] > v {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo
 }
 
 // --- LRU page cache ----------------------------------------------------------

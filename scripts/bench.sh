@@ -3,14 +3,18 @@
 # results to BENCH_serve.json ({name, ns_per_op, b_per_op, allocs_per_op}
 # per benchmark). Exits non-zero on either regression gate:
 #
-#   - zero-allocation contract: any BenchmarkQuery* (internal/core) or
-#     BenchmarkEncode* (internal/server) reporting a nonzero allocs/op —
-#     that contract is what the read path's latency depends on;
+#   - zero-allocation contract: any BenchmarkQuery* (internal/core),
+#     BenchmarkEncode* (internal/server), or BenchmarkLocate* (internal/grid)
+#     reporting a nonzero allocs/op — that contract is what the read path's
+#     latency depends on;
 #   - maintenance contract: BenchmarkUpdateIncremental not at least 3x
 #     faster than BenchmarkUpdateFullRebuild (internal/core) — incremental
 #     maintenance regressing toward rebuild-shaped costs (the measured
 #     headroom is ~15x; see EXPERIMENTS.md E18 for the serving-layer
-#     write-throughput figure).
+#     write-throughput figure);
+#   - point-location contract: BenchmarkLocateRank not strictly faster than
+#     BenchmarkLocateBinary (internal/grid) — the O(1) rank table regressing
+#     to binary-search cost (the measured headroom is ~9x).
 #
 #   ./scripts/bench.sh              # full run, writes BENCH_serve.json
 #   BENCHTIME=10x ./scripts/bench.sh  # quick smoke (CI uses this)
@@ -23,8 +27,8 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 echo "== bench (benchtime=$benchtime)"
-go test -run '^$' -bench 'BenchmarkQuery|BenchmarkEncode|BenchmarkUpdate' -benchmem \
-    -benchtime "$benchtime" ./internal/core/ ./internal/server/ | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkQuery|BenchmarkEncode|BenchmarkUpdate|BenchmarkLocate' -benchmem \
+    -benchtime "$benchtime" ./internal/core/ ./internal/server/ ./internal/grid/ | tee "$tmp"
 
 awk '
 /^Benchmark/ && /allocs\/op/ {
@@ -38,11 +42,13 @@ awk '
     if (n++) printf ",\n"
     printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", \
         name, ns, bytes, allocs
-    if (name ~ /^(BenchmarkQuery|BenchmarkEncode)/ && allocs + 0 > 0) {
+    if (name ~ /^(BenchmarkQuery|BenchmarkEncode|BenchmarkLocate)/ && allocs + 0 > 0) {
         bad = bad name " (" allocs " allocs/op) "
     }
     if (name == "BenchmarkUpdateIncremental")  inc = ns
     if (name == "BenchmarkUpdateFullRebuild") full = ns
+    if (name == "BenchmarkLocateRank")   rank = ns
+    if (name == "BenchmarkLocateBinary") bin = ns
 }
 END {
     printf "\n"
@@ -50,6 +56,11 @@ END {
     if (inc + 0 > 0 && full + 0 > 0 && inc * 3 > full) {
         printf "REGRESSION: incremental update %s ns/op vs %s ns/op rebuild (want >=3x faster)\n", \
             inc, full > "/dev/stderr"
+        exit 1
+    }
+    if (rank + 0 > 0 && bin + 0 > 0 && rank + 0 >= bin + 0) {
+        printf "REGRESSION: rank-table locate %s ns/op vs %s ns/op binary search (rank must win)\n", \
+            rank, bin > "/dev/stderr"
         exit 1
     }
 }' "$tmp" > "$tmp.body" || { rm -f "$tmp.body"; exit 1; }

@@ -90,4 +90,35 @@ test "$code" = "200"
 kill -TERM "$over_pid"
 wait "$over_pid" 2>/dev/null || true
 
+echo "== serve-from (mmap'd snapshot file vs in-memory build)"
+# Both serve the default hotel dataset: one builds in memory, the other maps
+# the $tmp/d.sky file written by `skydiag save` above — no build step.
+"$tmp/skyserve" -addr 127.0.0.1:18082 >/dev/null 2>&1 &
+mem_pid=$!
+"$tmp/skyserve" -addr 127.0.0.1:18083 -serve-from "$tmp/d.sky" >/dev/null 2>&1 &
+file_pid=$!
+trap 'kill "$serve_pid" "$over_pid" "$mem_pid" "$file_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+for i in $(seq 1 50); do
+    curl -fsS http://127.0.0.1:18082/healthz >/dev/null 2>&1 &&
+    curl -fsS http://127.0.0.1:18083/healthz >/dev/null 2>&1 && break
+    sleep 0.1
+done
+# the mapped file must answer every probe exactly like the in-memory server
+for q in 'x=10&y=80' 'x=0&y=0' 'x=55.5&y=41.25' 'x=100&y=100' 'x=-5&y=200'; do
+    curl -fsS "http://127.0.0.1:18082/v1/skyline?kind=quadrant&$q" > "$tmp/mem.json"
+    curl -fsS "http://127.0.0.1:18083/v1/skyline?kind=quadrant&$q" > "$tmp/file.json"
+    cmp -s "$tmp/mem.json" "$tmp/file.json" || {
+        echo "serve-from mismatch on $q" >&2
+        diff "$tmp/mem.json" "$tmp/file.json" >&2 || true
+        exit 1
+    }
+done
+# the file holds one kind; others and all writes answer 501, not wrong data
+code=$(curl -s -o /dev/null -w '%{http_code}' 'http://127.0.0.1:18083/v1/skyline?kind=global&x=10&y=80')
+test "$code" = "501"
+code=$(curl -s -o /dev/null -w '%{http_code}' -d '{"id":99,"coords":[13,85]}' http://127.0.0.1:18083/v1/points)
+test "$code" = "501"
+kill -TERM "$mem_pid" "$file_pid"
+wait "$mem_pid" "$file_pid" 2>/dev/null || true
+
 echo "smoke OK"
