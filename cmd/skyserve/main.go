@@ -60,6 +60,9 @@ import (
 func main() {
 	in := flag.String("in", "", "input CSV (default: the paper's hotel example)")
 	serveFrom := flag.String("serve-from", "", "serve a persisted diagram file (mmap'd, read-only) instead of building from -in")
+	primary := flag.String("primary", "", "replica mode: builder base URL to pull epoch-stamped snapshots from (read-only serving)")
+	snapshotDir := flag.String("snapshot-dir", "", "replica mode: directory caching fetched snapshot files (required with -primary)")
+	refresh := flag.Duration("refresh", server.DefaultRefreshInterval, "replica mode: snapshot poll interval")
 	addr := flag.String("addr", ":8080", "listen address")
 	maxDyn := flag.Int("max-dynamic", 128, "largest dataset for which the dynamic diagram is built")
 	maxBatch := flag.Int("max-batch", 8192, "largest accepted /v1/skyline/batch query count")
@@ -105,9 +108,32 @@ func main() {
 		CompactRatio:     *compactRatio,
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var h *server.Handler
 	var pts []geom.Point
-	if *serveFrom != "" {
+	switch {
+	case *primary != "":
+		if *serveFrom != "" || *in != "" {
+			log.Fatal("skyserve: -primary is mutually exclusive with -serve-from and -in")
+		}
+		var rep *server.Replica
+		var err error
+		h, rep, err = server.BootstrapReplica(ctx, server.ReplicaConfig{
+			Primary:  *primary,
+			Dir:      *snapshotDir,
+			Interval: *refresh,
+		}, cfg)
+		if err != nil {
+			log.Fatalf("skyserve: replica: %v", err)
+		}
+		defer rep.Close()
+		go rep.Run(ctx)
+		pts = nil // logged below from /v1/stats-visible state instead
+		log.Printf("skyserve: replica of %s, refreshing every %s into %s",
+			*primary, *refresh, *snapshotDir)
+	case *serveFrom != "":
 		if *in != "" {
 			log.Fatal("skyserve: -serve-from and -in are mutually exclusive")
 		}
@@ -120,14 +146,14 @@ func main() {
 		if !st.Mapped() {
 			mode = "buffered reads (mmap unavailable)"
 		}
-		log.Printf("skyserve: serving %s diagram from %s via %s, read-only",
-			st.Kind(), *serveFrom, mode)
+		log.Printf("skyserve: serving %s diagram from %s via %s, read-only (epoch %d)",
+			st.Kind(), *serveFrom, mode, st.Epoch())
 		h, err = server.NewServeFrom(st, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		pts = st.Points()
-	} else {
+	default:
 		if *in == "" {
 			pts = dataset.Hotels()
 		} else {
@@ -168,9 +194,6 @@ func main() {
 		Handler:           root,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

@@ -24,7 +24,6 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -53,16 +52,11 @@ type Client struct {
 
 	breakerThreshold int
 	breakerCooldown  time.Duration
+	br               *Breaker
 
-	mu          sync.Mutex
-	consecFails int
-	open        bool
-	openUntil   time.Time
-	probing     bool
-
-	nRetries      atomic.Int64
-	nShed         atomic.Int64
-	nBreakerOpens atomic.Int64
+	nRetries  atomic.Int64
+	nShed     atomic.Int64
+	lastEpoch atomic.Uint64
 }
 
 // Option configures a Client.
@@ -109,6 +103,7 @@ func New(base string, opts ...Option) *Client {
 	for _, o := range opts {
 		o(c)
 	}
+	c.br = NewBreaker(c.breakerThreshold, c.breakerCooldown)
 	return c
 }
 
@@ -124,9 +119,15 @@ func (c *Client) Counters() Counters {
 	return Counters{
 		Retries:      c.nRetries.Load(),
 		Shed:         c.nShed.Load(),
-		BreakerOpens: c.nBreakerOpens.Load(),
+		BreakerOpens: c.br.Opens(),
 	}
 }
+
+// LastEpoch returns the highest snapshot epoch observed in any response's
+// X-Sky-Epoch header — which published generation of the diagram the service
+// (or the replica a router picked) answered from. 0 until an epoch-stamped
+// response arrives.
+func (c *Client) LastEpoch() uint64 { return c.lastEpoch.Load() }
 
 // APIError is a non-2xx response from the service.
 type APIError struct {
@@ -246,6 +247,15 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out i
 			}
 			continue
 		}
+		if e := parseEpoch(resp.Header.Get("X-Sky-Epoch")); e > 0 {
+			// Track the highest snapshot generation seen, monotonically.
+			for {
+				cur := c.lastEpoch.Load()
+				if e <= cur || c.lastEpoch.CompareAndSwap(cur, e) {
+					break
+				}
+			}
+		}
 		data, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
@@ -316,44 +326,27 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out i
 
 // breakerAllow gates an attempt on the circuit breaker: open and cooling
 // down fails fast, open past cooldown admits exactly one half-open probe.
+// The mechanics live in the exported Breaker, shared with internal/router.
 func (c *Client) breakerAllow() error {
-	if c.breakerThreshold <= 0 {
-		return nil
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.open {
-		return nil
-	}
-	if time.Now().Before(c.openUntil) || c.probing {
+	if !c.br.Allow() {
 		return ErrBreakerOpen
 	}
-	c.probing = true
 	return nil
 }
 
-// breakerRecord feeds an attempt's outcome to the breaker. Any success
-// closes it; a failure while open (a failed probe) or the threshold-th
-// consecutive failure (re)opens it for another cooldown.
-func (c *Client) breakerRecord(ok bool) {
-	if c.breakerThreshold <= 0 {
-		return
+// breakerRecord feeds an attempt's outcome to the breaker.
+func (c *Client) breakerRecord(ok bool) { c.br.Record(ok) }
+
+// parseEpoch decodes an X-Sky-Epoch header; malformed or absent is 0.
+func parseEpoch(h string) uint64 {
+	if h == "" {
+		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if ok {
-		c.open = false
-		c.probing = false
-		c.consecFails = 0
-		return
+	e, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		return 0
 	}
-	c.consecFails++
-	if c.open || c.consecFails >= c.breakerThreshold {
-		c.open = true
-		c.probing = false
-		c.openUntil = time.Now().Add(c.breakerCooldown)
-		c.nBreakerOpens.Add(1)
-	}
+	return e
 }
 
 // delay computes the backoff before re-attempt number attempt+1:

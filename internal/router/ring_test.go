@@ -1,0 +1,81 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderCoversEveryNodeOnce(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	r := newRing(nodes)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		order := r.Order(key)
+		if len(order) != len(nodes) {
+			t.Fatalf("Order(%q) has %d nodes, want %d", key, len(order), len(nodes))
+		}
+		seen := map[string]bool{}
+		for _, n := range order {
+			if seen[n] {
+				t.Fatalf("Order(%q) repeats %q: %v", key, n, order)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRingOrderDeterministic(t *testing.T) {
+	a := newRing([]string{"x", "y", "z"})
+	b := newRing([]string{"z", "x", "y"}) // input order must not matter
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		oa, ob := a.Order(key), b.Order(key)
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("Order(%q) differs by construction order: %v vs %v", key, oa, ob)
+			}
+		}
+	}
+}
+
+// Removing one node must only reshuffle the keys it owned: every other
+// key's home node is unchanged — the property that makes consistent
+// hashing cheap to rebalance.
+func TestRingRemovalOnlyMovesOwnedKeys(t *testing.T) {
+	full := newRing([]string{"a", "b", "c", "d"})
+	without := newRing([]string{"a", "b", "c"})
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		home := full.Order(key)[0]
+		after := without.Order(key)[0]
+		if home == "d" {
+			moved++
+			continue // had to move somewhere
+		}
+		if home != after {
+			t.Fatalf("key %q moved %s -> %s though %q was not removed", key, home, after, "d")
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// The vnode count should spread keys within a loose factor of fair share.
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3"}
+	r := newRing(nodes)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Order(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	fair := keys / len(nodes)
+	for n, c := range counts {
+		if c < fair/3 || c > fair*3 {
+			t.Fatalf("node %s owns %d keys, fair share %d: %v", n, c, fair, counts)
+		}
+	}
+}

@@ -1,0 +1,480 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/metrics"
+)
+
+// Config configures a Router.
+type Config struct {
+	// Replicas are the read replicas' base URLs. At least one is required.
+	Replicas []string
+	// Primary is the builder's base URL; inserts and deletes forward to it.
+	// Empty rejects writes with 501 (a read-only tier).
+	Primary string
+	// Replication is how many replicas serve each dataset: the first R
+	// nodes in the dataset's ring order are its candidates, the rest are
+	// never consulted for it. 0 (or >= len(Replicas)) means every replica
+	// serves every dataset.
+	Replication int
+	// StaleEpochs is the snapshot lag a replica may accumulate and still be
+	// preferred: a replica whose last observed epoch is more than this many
+	// generations behind the freshest pool member is demoted behind fresh
+	// ones (still served — stale answers are consistent answers). Default 0:
+	// any lag demotes.
+	StaleEpochs uint64
+	// HealthInterval is the /v1/health poll cadence. 0 means 1s.
+	HealthInterval time.Duration
+	// BreakerThreshold and BreakerCooldown tune each replica's circuit
+	// breaker (see client.WithBreaker). Threshold 0 means the client
+	// default; negative disables the breakers.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HTTPClient overrides the transport used for proxying and health
+	// checks. nil uses a client with a 15s timeout.
+	HTTPClient *http.Client
+	// Metrics receives the router's instrumentation; nil means a fresh
+	// registry, retrievable via Router.Metrics.
+	Metrics *metrics.Registry
+}
+
+// backend is one replica's routing state: health and epoch are written by
+// the health loop, the breaker by the data path.
+type backend struct {
+	base    string
+	br      *client.Breaker
+	healthy atomic.Bool
+	epoch   atomic.Uint64
+}
+
+// Router fans skyline reads out across replicas and forwards writes to the
+// builder. It implements http.Handler with the same API surface the
+// replicas expose, so clients point at the router unchanged.
+type Router struct {
+	mux         *http.ServeMux
+	ring        *ring
+	backends    map[string]*backend
+	order       []string // configured replica order, for stable reporting
+	primary     string
+	replication int
+	staleEpochs uint64
+	interval    time.Duration
+	httpc       *http.Client
+
+	reg       *metrics.Registry
+	requests  *metrics.Counter
+	failovers *metrics.Counter
+	sheds     *metrics.Counter
+	noReplica *metrics.Counter
+}
+
+// maxProxyBody caps a buffered request or response body. Batch requests are
+// bounded by the backend anyway; this only protects the router's memory.
+const maxProxyBody = 64 << 20
+
+// healthProbeTimeout bounds one /v1/health round trip.
+const healthProbeTimeout = 2 * time.Second
+
+// New builds a router over the configured replica pool.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("router: at least one replica is required")
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 15 * time.Second}
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = client.DefaultBreakerThreshold
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	rt := &Router{
+		ring:        newRing(cfg.Replicas),
+		backends:    make(map[string]*backend, len(cfg.Replicas)),
+		order:       append([]string(nil), cfg.Replicas...),
+		primary:     cfg.Primary,
+		replication: cfg.Replication,
+		staleEpochs: cfg.StaleEpochs,
+		interval:    cfg.HealthInterval,
+		httpc:       cfg.HTTPClient,
+		reg:         reg,
+		requests: reg.Counter("skyrouter_requests_total",
+			"Requests routed, all endpoints."),
+		failovers: reg.Counter("skyrouter_failovers_total",
+			"Reads answered by a non-first candidate after earlier ones failed."),
+		sheds: reg.Counter("skyrouter_sheds_total",
+			"Reads where every candidate shed; the shed was forwarded."),
+		noReplica: reg.Counter("skyrouter_no_replica_total",
+			"Reads with no usable candidate (all breakers open or all failed)."),
+	}
+	for _, base := range cfg.Replicas {
+		b := &backend{
+			base: trimSlash(base),
+			br:   client.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		}
+		// Optimistic until the first health pass: with no data yet, every
+		// candidate sorts equal instead of all landing in the last-resort
+		// bucket.
+		b.healthy.Store(true)
+		if _, dup := rt.backends[base]; dup {
+			return nil, fmt.Errorf("router: duplicate replica %q", base)
+		}
+		rt.backends[base] = b
+	}
+	rt.initRoutes()
+	return rt, nil
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func (rt *Router) initRoutes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /v1/health", rt.handleHealth)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /v1/skyline", rt.handleRead)
+	mux.HandleFunc("POST /v1/skyline/batch", rt.handleRead)
+	mux.HandleFunc("GET /v1/stats", rt.handleRead)
+	mux.HandleFunc("POST /v1/points", rt.handleWrite)
+	mux.HandleFunc("DELETE /v1/points/{id}", rt.handleWrite)
+	rt.mux = mux
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Inc()
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns the router's registry.
+func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
+
+// Run polls replica health until ctx is done.
+func (rt *Router) Run(ctx context.Context) {
+	rt.HealthCheck(ctx)
+	t := time.NewTicker(rt.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.HealthCheck(ctx)
+		}
+	}
+}
+
+// HealthCheck probes every replica's /v1/health once, concurrently, and
+// updates the pool's health and epoch view. Exported so tests drive the
+// pool state deterministically instead of racing a background loop.
+func (rt *Router) HealthCheck(ctx context.Context) {
+	var wg sync.WaitGroup
+	for name, b := range rt.backends {
+		wg.Add(1)
+		go func(name string, b *backend) {
+			defer wg.Done()
+			rt.probe(ctx, name, b)
+		}(name, b)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) probe(ctx context.Context, name string, b *backend) {
+	ctx, cancel := context.WithTimeout(ctx, healthProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/health", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.httpc.Do(req)
+	ok := false
+	if err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		ok = resp.StatusCode == http.StatusOK
+		if e, perr := strconv.ParseUint(resp.Header.Get("X-Sky-Epoch"), 10, 64); perr == nil {
+			b.epoch.Store(e)
+		}
+	}
+	b.healthy.Store(ok)
+	up := 0.0
+	if ok {
+		up = 1
+	}
+	rt.reg.Gauge("skyrouter_backend_healthy",
+		"1 while the replica's last health probe succeeded.", "backend", name).Set(up)
+	rt.reg.Gauge("skyrouter_backend_epoch",
+		"Snapshot epoch the replica last reported.", "backend", name).
+		Set(float64(b.epoch.Load()))
+}
+
+// candidates returns the dataset's replicas in try-order: its ring order
+// restricted to the replication set, partitioned healthy-and-fresh first,
+// then healthy-but-stale, then unhealthy as a last resort (a probe may be
+// wrong, and a stale answer from a live replica beats no answer).
+func (rt *Router) candidates(dataset string) []*backend {
+	names := rt.ring.Order(dataset)
+	if rt.replication > 0 && rt.replication < len(names) {
+		names = names[:rt.replication]
+	}
+	var maxEpoch uint64
+	for _, n := range names {
+		if e := rt.backends[n].epoch.Load(); e > maxEpoch {
+			maxEpoch = e
+		}
+	}
+	fresh := func(b *backend) bool {
+		return b.epoch.Load()+rt.staleEpochs >= maxEpoch
+	}
+	out := make([]*backend, 0, len(names))
+	for _, n := range names { // healthy + fresh
+		if b := rt.backends[n]; b.healthy.Load() && fresh(b) {
+			out = append(out, b)
+		}
+	}
+	for _, n := range names { // healthy + stale
+		if b := rt.backends[n]; b.healthy.Load() && !fresh(b) {
+			out = append(out, b)
+		}
+	}
+	for _, n := range names { // unhealthy
+		if b := rt.backends[n]; !b.healthy.Load() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// datasetKey extracts the routing key. Single-dataset deployments omit it
+// and hash the same default everywhere, which still yields one fixed
+// preference order per router — cache-friendly across the pool.
+func datasetKey(r *http.Request) string {
+	if d := r.URL.Query().Get("dataset"); d != "" {
+		return d
+	}
+	return "default"
+}
+
+// bufferedResp is a fully-read backend response, safe to forward: the body
+// arrived complete before the first byte goes to the client, so a replica
+// dying mid-transfer can never produce a torn downstream answer.
+type bufferedResp struct {
+	status  int
+	header  http.Header
+	body    []byte
+	backend string
+}
+
+// forwardHeaders are the response headers the router relays.
+var forwardHeaders = []string{"Content-Type", "X-Sky-Epoch", "ETag", "Retry-After"}
+
+func (br *bufferedResp) write(w http.ResponseWriter) {
+	h := w.Header()
+	for _, k := range forwardHeaders {
+		if v := br.header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	h.Set("X-Sky-Backend", br.backend)
+	w.WriteHeader(br.status)
+	w.Write(br.body)
+}
+
+func (br *bufferedResp) shed() bool {
+	return br.status == http.StatusTooManyRequests ||
+		(br.status == http.StatusServiceUnavailable && br.header.Get("Retry-After") != "")
+}
+
+// forward replays the (already buffered) request against one backend and
+// buffers the full response.
+func (rt *Router) forward(r *http.Request, body []byte, b *backend) (*bufferedResp, error) {
+	url := b.base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return nil, fmt.Errorf("read %s response: %w", b.base, err)
+	}
+	return &bufferedResp{status: resp.StatusCode, header: resp.Header, body: data, backend: b.base}, nil
+}
+
+// handleRead routes one read with failover. Candidates are tried in order;
+// network errors and 5xx fail over to the next (recording a breaker
+// failure), sheds are remembered and failed over (recording success — a
+// shedding replica is alive), anything else is forwarded as-is. If every
+// candidate shed, the first shed is forwarded; if none was usable, 503 +
+// Retry-After.
+func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	var firstShed *bufferedResp
+	tried := 0
+	for _, b := range rt.candidates(datasetKey(r)) {
+		if !b.br.Allow() {
+			continue
+		}
+		tried++
+		resp, err := rt.forward(r, body, b)
+		if err != nil {
+			b.br.Record(false)
+			rt.backendErrs(b).Inc()
+			log.Printf("skyrouter: %s %s via %s: %v", r.Method, r.URL.Path, b.base, err)
+			continue
+		}
+		switch {
+		case resp.shed():
+			b.br.Record(true)
+			if firstShed == nil {
+				firstShed = resp
+			}
+		case resp.status >= 500:
+			b.br.Record(false)
+			rt.backendErrs(b).Inc()
+		default:
+			b.br.Record(true)
+			if tried > 1 {
+				rt.failovers.Inc()
+			}
+			resp.write(w)
+			return
+		}
+	}
+	if firstShed != nil {
+		rt.sheds.Inc()
+		firstShed.write(w)
+		return
+	}
+	rt.noReplica.Inc()
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "no replica available")
+}
+
+// handleWrite forwards a mutation to the builder — the single writer, so
+// there is no failover target. Responses (including sheds) relay verbatim.
+func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
+	if rt.primary == "" {
+		writeError(w, http.StatusNotImplemented, "router has no primary; writes are not accepted")
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	resp, err := rt.forward(r, body, &backend{base: trimSlash(rt.primary)})
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("primary unreachable: %v", err))
+		return
+	}
+	resp.write(w)
+}
+
+func (rt *Router) backendErrs(b *backend) *metrics.Counter {
+	return rt.reg.Counter("skyrouter_backend_errors_total",
+		"Network errors and 5xx responses, by backend.", "backend", b.base)
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	if r.Body == nil || r.ContentLength == 0 {
+		return nil, nil
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxProxyBody)
+	return io.ReadAll(r.Body)
+}
+
+// replicaHealth is one pool member's state in the router health response.
+type replicaHealth struct {
+	Backend string `json:"backend"`
+	Healthy bool   `json:"healthy"`
+	Epoch   uint64 `json:"epoch"`
+	Breaker string `json:"breaker"`
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		Status   string          `json:"status"`
+		Epoch    uint64          `json:"epoch"`
+		Replicas []replicaHealth `json:"replicas"`
+	}{Status: "ok"}
+	healthyN := 0
+	for _, name := range rt.order {
+		b := rt.backends[name]
+		rh := replicaHealth{
+			Backend: b.base,
+			Healthy: b.healthy.Load(),
+			Epoch:   b.epoch.Load(),
+			Breaker: b.br.State(),
+		}
+		if rh.Healthy {
+			healthyN++
+		}
+		if rh.Epoch > out.Epoch {
+			out.Epoch = rh.Epoch
+		}
+		out.Replicas = append(out.Replicas, rh)
+	}
+	if healthyN == 0 {
+		out.Status = "degraded"
+	}
+	w.Header().Set("X-Sky-Epoch", strconv.FormatUint(out.Epoch, 10))
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	_ = rt.reg.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
+}

@@ -1,0 +1,370 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeReplica is a scriptable backend: its mode decides how the data path
+// answers while /v1/health keeps reporting the configured epoch.
+type fakeReplica struct {
+	srv   *httptest.Server
+	mode  atomic.Value // "ok", "err", "shed", "healthdown"
+	epoch atomic.Uint64
+	hits  atomic.Int64 // data-path requests received
+}
+
+func newFakeReplica(t *testing.T) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{}
+	f.mode.Store("ok")
+	f.epoch.Store(1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
+		if f.mode.Load() == "healthdown" {
+			http.Error(w, "unhealthy", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-Sky-Epoch", strconv.FormatUint(f.epoch.Load(), 10))
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"status":"ok"}`)
+	})
+	data := func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		switch f.mode.Load() {
+		case "err":
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+		case "shed":
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+		default:
+			w.Header().Set("X-Sky-Epoch", strconv.FormatUint(f.epoch.Load(), 10))
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"answered_by":%q}`, f.srv.URL)
+		}
+	}
+	mux.HandleFunc("GET /v1/skyline", data)
+	mux.HandleFunc("POST /v1/skyline/batch", data)
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func newTestRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// get answers status, body, and the backend attribution header.
+func get(t *testing.T, rt *Router, path string) (int, string, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec.Code, rec.Body.String(), rec.Header().Get("X-Sky-Backend")
+}
+
+func TestRouterRoutesToRingOrder(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{Replicas: []string{a.srv.URL, b.srv.URL}})
+	code, body, backend := get(t, rt, "/v1/skyline?x=1&y=2")
+	if code != 200 {
+		t.Fatalf("code = %d, body %s", code, body)
+	}
+	want := rt.ring.Order("default")[0]
+	if backend != want {
+		t.Fatalf("answered by %s, ring order wants %s", backend, want)
+	}
+	// Same key keeps hitting the same home replica.
+	for i := 0; i < 5; i++ {
+		if _, _, bk := get(t, rt, "/v1/skyline?x=1&y=2"); bk != want {
+			t.Fatalf("routing not sticky: %s then %s", want, bk)
+		}
+	}
+}
+
+// Failover matrix: the first candidate misbehaves, the second answers.
+func TestRouterFailover(t *testing.T) {
+	cases := []struct {
+		name         string
+		break1       func(*fakeReplica)
+		wantFailover bool
+	}{
+		{"5xx", func(f *fakeReplica) { f.mode.Store("err") }, true},
+		{"connection refused", func(f *fakeReplica) { f.srv.Close() }, true},
+		{"shed prefers other replica", func(f *fakeReplica) { f.mode.Store("shed") }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := newFakeReplica(t), newFakeReplica(t)
+			rt := newTestRouter(t, Config{Replicas: []string{a.srv.URL, b.srv.URL}})
+			order := rt.ring.Order("default")
+			first := map[string]*fakeReplica{a.srv.URL: a, b.srv.URL: b}[order[0]]
+			second := order[1]
+			tc.break1(first)
+			code, body, backend := get(t, rt, "/v1/skyline?x=1&y=2")
+			if code != 200 {
+				t.Fatalf("code = %d body %s", code, body)
+			}
+			if backend != second {
+				t.Fatalf("answered by %s, want failover target %s", backend, second)
+			}
+			if got := rt.failovers.Value(); (got > 0) != tc.wantFailover {
+				t.Fatalf("failovers = %d, want >0 == %v", got, tc.wantFailover)
+			}
+		})
+	}
+}
+
+func TestRouterAllShedForwardsShed(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	a.mode.Store("shed")
+	b.mode.Store("shed")
+	rt := newTestRouter(t, Config{Replicas: []string{a.srv.URL, b.srv.URL}})
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/skyline?x=1&y=2", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("code = %d, want 429 relayed", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed relay lost the Retry-After header")
+	}
+	if rt.sheds.Value() != 1 {
+		t.Fatalf("sheds counter = %d, want 1", rt.sheds.Value())
+	}
+	// A shed is a success for the breakers: the pool is alive.
+	for _, bk := range rt.backends {
+		if s := bk.br.State(); s != "closed" {
+			t.Fatalf("breaker %s after sheds, want closed", s)
+		}
+	}
+}
+
+func TestRouterAllDown503(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	a.srv.Close()
+	b.srv.Close()
+	rt := newTestRouter(t, Config{Replicas: []string{a.srv.URL, b.srv.URL}})
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/skyline?x=1&y=2", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 must carry Retry-After")
+	}
+	if rt.noReplica.Value() != 1 {
+		t.Fatalf("noReplica = %d, want 1", rt.noReplica.Value())
+	}
+}
+
+// An open breaker must skip the replica without issuing a request.
+func TestRouterBreakerOpenSkipsBackend(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{
+		Replicas:         []string{a.srv.URL, b.srv.URL},
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour, // stays open for the whole test
+	})
+	order := rt.ring.Order("default")
+	reps := map[string]*fakeReplica{a.srv.URL: a, b.srv.URL: b}
+	first, second := reps[order[0]], reps[order[1]]
+	first.mode.Store("err")
+	// Two failing reads trip the first replica's breaker.
+	for i := 0; i < 2; i++ {
+		if code, body, _ := get(t, rt, "/v1/skyline?x=1&y=2"); code != 200 {
+			t.Fatalf("read %d failed over wrong: %d %s", i, code, body)
+		}
+	}
+	if s := rt.backends[order[0]].br.State(); s != "open" {
+		t.Fatalf("first replica breaker = %s, want open", s)
+	}
+	hitsBefore := first.hits.Load()
+	for i := 0; i < 3; i++ {
+		if code, _, backend := get(t, rt, "/v1/skyline?x=1&y=2"); code != 200 || backend != second.srv.URL {
+			t.Fatalf("read with open breaker: code %d backend %s", code, backend)
+		}
+	}
+	if got := first.hits.Load(); got != hitsBefore {
+		t.Fatalf("open breaker still sent %d requests to the broken replica", got-hitsBefore)
+	}
+}
+
+// 4xx is the client's fault: relay it, never fail over.
+func TestRouter4xxNoFailover(t *testing.T) {
+	b := newFakeReplica(t)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/skyline", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"bad kind"}`, http.StatusBadRequest)
+	})
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) })
+	bad := httptest.NewServer(mux)
+	t.Cleanup(bad.Close)
+	rt := newTestRouter(t, Config{Replicas: []string{bad.URL, b.srv.URL}})
+	// Find a key homed on the 400-answering replica so the relay is provable.
+	key := ""
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("ds%d", i)
+		if rt.ring.Order(k)[0] == bad.URL {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key homed on the bad replica")
+	}
+	code, _, backend := get(t, rt, "/v1/skyline?x=a&dataset="+key)
+	if code != http.StatusBadRequest || backend != bad.URL {
+		t.Fatalf("4xx relay: code %d backend %s, want 400 from %s", code, backend, bad.URL)
+	}
+	if rt.failovers.Value() != 0 {
+		t.Fatal("4xx must not count as failover")
+	}
+}
+
+// A stale replica (behind on epochs) is demoted behind fresh ones even when
+// it is the key's home node.
+func TestRouterStaleReplicaDemoted(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{Replicas: []string{a.srv.URL, b.srv.URL}})
+	reps := map[string]*fakeReplica{a.srv.URL: a, b.srv.URL: b}
+	home := rt.ring.Order("default")[0]
+	other := rt.ring.Order("default")[1]
+	reps[home].epoch.Store(3) // home lags
+	reps[other].epoch.Store(7)
+	rt.HealthCheck(context.Background())
+	if code, _, backend := get(t, rt, "/v1/skyline?x=1&y=2"); code != 200 || backend != other {
+		t.Fatalf("stale home not demoted: code %d backend %s, want %s", code, backend, other)
+	}
+	// Once caught up, the home node takes the key back.
+	reps[home].epoch.Store(7)
+	rt.HealthCheck(context.Background())
+	if _, _, backend := get(t, rt, "/v1/skyline?x=1&y=2"); backend != home {
+		t.Fatalf("caught-up home not restored: backend %s, want %s", backend, home)
+	}
+}
+
+func TestRouterUnhealthyReplicaDemoted(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{Replicas: []string{a.srv.URL, b.srv.URL}})
+	reps := map[string]*fakeReplica{a.srv.URL: a, b.srv.URL: b}
+	home, other := rt.ring.Order("default")[0], rt.ring.Order("default")[1]
+	reps[home].mode.Store("healthdown")
+	rt.HealthCheck(context.Background())
+	if _, _, backend := get(t, rt, "/v1/skyline?x=1&y=2"); backend != other {
+		t.Fatalf("unhealthy home not demoted: backend %s, want %s", backend, other)
+	}
+}
+
+func TestRouterReplicationLimitsCandidates(t *testing.T) {
+	a, b, c := newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{
+		Replicas:    []string{a.srv.URL, b.srv.URL, c.srv.URL},
+		Replication: 2,
+	})
+	order := rt.ring.Order("default")
+	reps := map[string]*fakeReplica{a.srv.URL: a, b.srv.URL: b, c.srv.URL: c}
+	// Break the two in-set replicas: the third must NOT be consulted.
+	reps[order[0]].mode.Store("err")
+	reps[order[1]].mode.Store("err")
+	beyond := reps[order[2]]
+	code, _, _ := get(t, rt, "/v1/skyline?x=1&y=2")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d, want 503 with replication=2 and both candidates down", code)
+	}
+	if beyond.hits.Load() != 0 {
+		t.Fatal("replica outside the replication set was consulted")
+	}
+}
+
+func TestRouterWriteForwardsToPrimary(t *testing.T) {
+	var gotBody atomic.Value
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/points", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		gotBody.Store(string(body))
+		w.Header().Set("X-Sky-Epoch", "9")
+		w.WriteHeader(http.StatusCreated)
+		io.WriteString(w, `{"points":12}`)
+	})
+	primary := httptest.NewServer(mux)
+	t.Cleanup(primary.Close)
+	a := newFakeReplica(t)
+	rt := newTestRouter(t, Config{Replicas: []string{a.srv.URL}, Primary: primary.URL})
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/points",
+		io.NopCloser(jsonBody(`{"id":99,"coords":[1,2]}`)))
+	req.Header.Set("Content-Type", "application/json")
+	req.ContentLength = int64(len(`{"id":99,"coords":[1,2]}`))
+	rt.ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("write relay code = %d body %s", rec.Code, rec.Body.String())
+	}
+	if gotBody.Load() != `{"id":99,"coords":[1,2]}` {
+		t.Fatalf("primary saw body %q", gotBody.Load())
+	}
+	if rec.Header().Get("X-Sky-Epoch") != "9" {
+		t.Fatal("write relay lost X-Sky-Epoch")
+	}
+
+	// No primary configured: writes answer 501.
+	ro := newTestRouter(t, Config{Replicas: []string{a.srv.URL}})
+	rec = httptest.NewRecorder()
+	ro.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/points", nil))
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("read-only router write = %d, want 501", rec.Code)
+	}
+}
+
+func TestRouterHealthReportsPool(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	a.epoch.Store(4)
+	b.epoch.Store(6)
+	rt := newTestRouter(t, Config{Replicas: []string{a.srv.URL, b.srv.URL}})
+	rt.HealthCheck(context.Background())
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	var out struct {
+		Status   string `json:"status"`
+		Epoch    uint64 `json:"epoch"`
+		Replicas []struct {
+			Backend string `json:"backend"`
+			Healthy bool   `json:"healthy"`
+			Epoch   uint64 `json:"epoch"`
+			Breaker string `json:"breaker"`
+		} `json:"replicas"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" || out.Epoch != 6 || len(out.Replicas) != 2 {
+		t.Fatalf("health = %+v", out)
+	}
+	// Kill both: status degrades but the router itself keeps answering.
+	a.mode.Store("healthdown")
+	b.mode.Store("healthdown")
+	rt.HealthCheck(context.Background())
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "degraded" {
+		t.Fatalf("all-down status = %q, want degraded", out.Status)
+	}
+}
+
+func jsonBody(s string) io.Reader { return strings.NewReader(s) }

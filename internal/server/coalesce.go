@@ -154,6 +154,7 @@ func (h *Handler) runBatch() {
 	if next != set {
 		// At least one op applied: publish one snapshot for the whole batch.
 		st := stateFromSet(next)
+		st.epoch = base.epoch + 1
 		h.mu.Lock()
 		h.setState(st)
 		h.mu.Unlock()
@@ -191,7 +192,10 @@ func (h *Handler) maybeCompact() {
 	}
 	start := time.Now()
 	next := set.CompactArenas()
+	// Compaction drops only dead arena entries: answers — and the canonical
+	// persisted bytes — are unchanged, so the epoch carries over.
 	st := &state{
+		epoch:    base.epoch,
 		points:   next.Points,
 		quadrant: next.Quadrant,
 		global:   next.Global,

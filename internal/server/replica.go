@@ -1,0 +1,296 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Replica keeps a serve-from handler in sync with a builder node: it polls
+// GET /v1/snapshot?epoch= with the epoch it currently serves, and on a 200
+// writes the body to its snapshot directory (temp + fsync + rename, like
+// the builder's own publish), memory-maps it — the CRC check at open
+// rejects any torn download, which is then deleted and refetched — and
+// pointer-swaps it into the handler. Readers never block: they drain off
+// the old mapping, which is closed and its file deleted only afterwards.
+//
+// A replica that restarts finds its last snapshot in the directory and
+// serves it immediately, then catches up to the builder in one fetch — the
+// cheap bootstrap from ROADMAP item 3 plus the catch-up protocol from
+// item 1.
+type Replica struct {
+	h        *Handler
+	primary  string
+	dir      string
+	interval time.Duration
+	httpc    *http.Client
+
+	curPath string // file backing the currently served store
+
+	refreshes  interface{ Inc() }
+	fetchErrs  interface{ Inc() }
+	staleSecs  interface{ Set(float64) }
+	lastChange time.Time
+}
+
+// ReplicaConfig configures snapshot replication for one replica process.
+type ReplicaConfig struct {
+	// Primary is the builder's base URL, e.g. "http://builder:8080".
+	Primary string
+	// Dir caches fetched snapshot files; it is created if missing. A
+	// restart re-serves the newest cached snapshot before catching up.
+	Dir string
+	// Interval between snapshot polls. 0 means the default of 2s.
+	Interval time.Duration
+	// HTTPClient overrides the fetch client (tests inject fakes). nil uses
+	// a client with a 30s timeout.
+	HTTPClient *http.Client
+}
+
+// DefaultRefreshInterval is the default snapshot poll cadence.
+const DefaultRefreshInterval = 2 * time.Second
+
+// BootstrapReplica brings up a replica: it serves the newest valid cached
+// snapshot if the directory holds one, otherwise blocks fetching the first
+// snapshot from the primary (retrying until ctx is done), and returns the
+// ready-to-serve handler plus the Replica whose Run loop keeps it fresh.
+func BootstrapReplica(ctx context.Context, rc ReplicaConfig, cfg Config) (*Handler, *Replica, error) {
+	if rc.Primary == "" {
+		return nil, nil, errors.New("server: replica needs a primary URL")
+	}
+	if rc.Dir == "" {
+		return nil, nil, errors.New("server: replica needs a snapshot directory")
+	}
+	if err := os.MkdirAll(rc.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("server: replica dir: %w", err)
+	}
+	if rc.Interval <= 0 {
+		rc.Interval = DefaultRefreshInterval
+	}
+	if rc.HTTPClient == nil {
+		rc.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	r := &Replica{
+		primary:  strings.TrimRight(rc.Primary, "/"),
+		dir:      rc.Dir,
+		interval: rc.Interval,
+		httpc:    rc.HTTPClient,
+	}
+
+	st, path := r.openCached()
+	for st == nil {
+		var err error
+		st, path, err = r.fetch(ctx, 0)
+		if err == nil && st == nil {
+			err = errors.New("primary answered 304 to an empty replica")
+		}
+		if err != nil {
+			log.Printf("skyserve: replica bootstrap: %v (retrying)", err)
+			select {
+			case <-ctx.Done():
+				return nil, nil, fmt.Errorf("server: replica bootstrap: %w", ctx.Err())
+			case <-time.After(r.interval):
+			}
+		}
+	}
+
+	h, err := NewServeFrom(st, cfg)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	r.h = h
+	r.curPath = path
+	r.lastChange = time.Now()
+	reg := h.Metrics()
+	r.refreshes = reg.Counter("skyserve_replica_refreshes_total",
+		"Snapshot polls answered with a newer epoch and swapped in.")
+	r.fetchErrs = reg.Counter("skyserve_replica_fetch_errors_total",
+		"Snapshot polls that failed (network, torn body, bad epoch).")
+	r.staleSecs = reg.Gauge("skyserve_replica_staleness_seconds",
+		"Seconds since the served snapshot last changed (or was confirmed current).")
+	return h, r, nil
+}
+
+// Run polls the primary until ctx is done. Errors are logged and retried on
+// the next tick — a replica keeps serving its current snapshot through any
+// primary outage.
+func (r *Replica) Run(ctx context.Context) {
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := r.Refresh(ctx); err != nil {
+				log.Printf("skyserve: replica refresh: %v", err)
+			}
+		}
+	}
+}
+
+// Refresh performs one poll-and-swap step, reporting whether a newer
+// snapshot was swapped in. Exported so tests (and operators via a future
+// admin hook) can drive the replication deterministically.
+func (r *Replica) Refresh(ctx context.Context) (bool, error) {
+	cur := r.h.snapshot().epoch
+	st, path, err := r.fetch(ctx, cur)
+	if err != nil {
+		r.fetchErrs.Inc()
+		return false, err
+	}
+	if st == nil { // 304: already current
+		r.staleSecs.Set(0)
+		r.lastChange = time.Now()
+		return false, nil
+	}
+	old, err := r.h.SwapStore(st)
+	if err != nil {
+		st.Close()
+		os.Remove(path)
+		r.fetchErrs.Inc()
+		return false, err
+	}
+	oldPath := r.curPath
+	r.curPath = path
+	r.lastChange = time.Now()
+	r.staleSecs.Set(0)
+	r.refreshes.Inc()
+	// Close drains in-flight readers off the old mapping before unmapping.
+	old.Close()
+	if oldPath != "" && oldPath != path {
+		os.Remove(oldPath)
+	}
+	return true, nil
+}
+
+// Close releases the served store. Callers must stop Run first.
+func (r *Replica) Close() error {
+	if r.h == nil {
+		return nil
+	}
+	snap := r.h.snapshot()
+	if snap.stored != nil {
+		return snap.stored.st.Close()
+	}
+	return nil
+}
+
+// fetch polls the primary with the given epoch. It returns (nil, "", nil)
+// on 304, or an opened mmap'd store backed by a freshly published file in
+// the snapshot directory. Any integrity failure — torn body caught by the
+// CRC trailer, epoch not newer — deletes the file and errors, so a bad
+// fetch can never become the served snapshot.
+func (r *Replica) fetch(ctx context.Context, epoch uint64) (*store.Store, string, error) {
+	url := fmt.Sprintf("%s/v1/snapshot?epoch=%d", r.primary, epoch)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := r.httpc.Do(req)
+	if err != nil {
+		return nil, "", fmt.Errorf("snapshot fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, "", nil
+	case http.StatusOK:
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, "", fmt.Errorf("snapshot fetch: primary answered %s", resp.Status)
+	}
+	remote, err := strconv.ParseUint(resp.Header.Get("X-Sky-Epoch"), 10, 64)
+	if err != nil || remote <= epoch {
+		return nil, "", fmt.Errorf("snapshot fetch: bad X-Sky-Epoch %q (serving %d)",
+			resp.Header.Get("X-Sky-Epoch"), epoch)
+	}
+
+	final := filepath.Join(r.dir, snapshotFileName(remote))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, "", err
+	}
+	_, cpErr := io.Copy(f, resp.Body)
+	if cpErr == nil {
+		cpErr = f.Sync()
+	}
+	if err := f.Close(); cpErr == nil {
+		cpErr = err
+	}
+	if cpErr == nil {
+		cpErr = os.Rename(tmp, final)
+	}
+	if cpErr != nil {
+		os.Remove(tmp)
+		return nil, "", fmt.Errorf("snapshot publish: %w", cpErr)
+	}
+
+	st, err := store.OpenMmap(final)
+	if err != nil {
+		// Torn or corrupt download — the CRC trailer catches truncation the
+		// transport didn't surface. Drop it; the next tick refetches.
+		os.Remove(final)
+		return nil, "", fmt.Errorf("snapshot validate: %w", err)
+	}
+	if st.Epoch() <= epoch {
+		st.Close()
+		os.Remove(final)
+		return nil, "", fmt.Errorf("snapshot validate: file epoch %d not newer than %d",
+			st.Epoch(), epoch)
+	}
+	return st, final, nil
+}
+
+// snapshotFileName names the cache file for one epoch.
+func snapshotFileName(epoch uint64) string {
+	return fmt.Sprintf("snap-e%d.sky", epoch)
+}
+
+// openCached returns the newest valid cached snapshot, or nil when the
+// directory has none (first boot, or every cached file failed validation).
+func (r *Replica) openCached() (*store.Store, string) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, ""
+	}
+	type cand struct {
+		epoch uint64
+		path  string
+	}
+	var cands []cand
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "snap-e") || !strings.HasSuffix(name, ".sky") {
+			continue
+		}
+		ep, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-e"), ".sky"), 10, 64)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{ep, filepath.Join(r.dir, name)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].epoch > cands[j].epoch })
+	for _, c := range cands {
+		st, err := store.OpenMmap(c.path)
+		if err != nil {
+			os.Remove(c.path) // corrupt cache entry; drop it
+			continue
+		}
+		return st, c.path
+	}
+	return nil, ""
+}

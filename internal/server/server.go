@@ -14,8 +14,19 @@
 //	GET    /v1/stats                               dataset, diagram, and traffic stats
 //	GET    /v1/skyline?kind=quadrant&x=10&y=80     skyline query
 //	POST   /v1/skyline/batch                       many queries, one snapshot
+//	GET    /v1/snapshot?kind=quadrant&epoch=3      epoch-stamped snapshot bytes (replication)
 //	POST   /v1/points   {"id":99,"coords":[13,85]} insert a point
 //	DELETE /v1/points/{id}                         delete a point
+//
+// Query, batch, health, stats, and snapshot responses carry the serving
+// snapshot's replication epoch in an X-Sky-Epoch header. /v1/snapshot is the
+// replication feed: it streams the store-format bytes of the current
+// snapshot with an ETag derived from the epoch, answering 304 when the
+// caller's ?epoch= (or If-None-Match) is already current. BootstrapReplica
+// turns a process into a read replica of a primary exposing that endpoint:
+// it fetches into a local snapshot dir, memory-maps the file, serves it via
+// NewServeFrom, and on each refresh swaps a strictly newer epoch in with
+// SwapStore (see docs/SCALEOUT.md and cmd/skyrouter for the routing tier).
 //
 // kind is quadrant (default), global, or dynamic, matched case-insensitively;
 // any other value is a 400 with a JSON error body on every path that accepts
@@ -171,6 +182,12 @@ func batchBodyLimit(maxBatch int) int64 {
 
 // state is one immutable snapshot of the served diagrams.
 type state struct {
+	// epoch is the snapshot generation: 1 for the initial build, +1 per
+	// applied write batch (compaction republishes the same epoch — answers
+	// are unchanged). A serve-from snapshot carries its file's epoch. The
+	// epoch is echoed on every response as X-Sky-Epoch, stamps published
+	// snapshot files, and drives the /v1/snapshot catch-up negotiation.
+	epoch    uint64
 	points   []geom.Point
 	quadrant *core.QuadrantDiagram
 	global   *core.GlobalDiagram
@@ -290,6 +307,7 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.epoch = 1
 	h.setState(st)
 	h.initRoutes()
 	return h, nil
@@ -309,16 +327,22 @@ func NewServeFrom(st *store.Store, cfg Config) (*Handler, error) {
 	}
 	h := newHandler(cfg)
 	h.readOnly = true
-	pts := st.Points()
-	sd := &storeDiagram{st: st, byID: indexPoints(pts)}
-	h.setState(&state{
-		points:     pts,
-		stored:     sd,
-		storedKind: kind,
-		frags:      pointFrags(pts),
-	})
+	h.setState(serveFromState(st, kind))
 	h.initRoutes()
 	return h, nil
+}
+
+// serveFromState assembles the snapshot for a serve-from store: the mapped
+// file IS the snapshot, carrying its own epoch stamp.
+func serveFromState(st *store.Store, kind string) *state {
+	pts := st.Points()
+	return &state{
+		epoch:      st.Epoch(),
+		points:     pts,
+		stored:     &storeDiagram{st: st, byID: indexPoints(pts)},
+		storedKind: kind,
+		frags:      pointFrags(pts),
+	}
 }
 
 // newHandler applies config defaults and registers the metric families —
@@ -414,6 +438,7 @@ func (h *Handler) initRoutes() {
 	mux.HandleFunc("GET /v1/health", h.instrument("/v1/health", h.handleHealth))
 	mux.HandleFunc("GET /metrics", h.instrument("/metrics", h.handleMetrics))
 	mux.HandleFunc("GET /v1/stats", h.instrument("/v1/stats", h.limit(h.handleStats)))
+	mux.HandleFunc("GET /v1/snapshot", h.instrument("/v1/snapshot", h.limit(h.handleSnapshot)))
 	mux.HandleFunc("GET /v1/skyline", h.instrument("/v1/skyline", h.limit(h.handleSkyline)))
 	mux.HandleFunc("POST /v1/skyline/batch", h.instrument("/v1/skyline/batch", h.limit(h.handleBatch)))
 	mux.HandleFunc("POST /v1/points", h.instrument("/v1/points", h.limit(h.handleInsert)))
@@ -475,6 +500,9 @@ func (h *Handler) setState(st *state) {
 	h.st = st
 	h.reg.Gauge("skyserve_points", "Points in the served dataset.").
 		Set(float64(len(st.points)))
+	h.reg.Gauge("skyserve_snapshot_epoch",
+		"Generation of the published snapshot (replicas lag the builder by the epoch delta).").
+		Set(float64(st.epoch))
 	cells := func(kind string, n float64) {
 		h.reg.Gauge("skyserve_cells", "Grid cells in the served diagram, by kind.",
 			"kind", kind).Set(n)
@@ -563,7 +591,21 @@ func (h *Handler) instrument(endpoint string, fn http.HandlerFunc) http.HandlerF
 }
 
 func (h *Handler) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	epoch := h.snapshot().epoch
+	setEpochHeader(w, epoch)
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Epoch: epoch})
+}
+
+type healthResponse struct {
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// setEpochHeader stamps a response with the snapshot generation it was
+// answered from, so clients and the router can track replica freshness
+// without extra round trips.
+func setEpochHeader(w http.ResponseWriter, epoch uint64) {
+	w.Header().Set("X-Sky-Epoch", strconv.FormatUint(epoch, 10))
 }
 
 func (h *Handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -580,11 +622,12 @@ type latencySummary struct {
 }
 
 type statsResponse struct {
-	Points         int  `json:"points"`
-	Cells          int  `json:"cells"`
-	Polyominoes    int  `json:"polyominoes"`
-	DynamicEnabled bool `json:"dynamic_enabled"`
-	Subcells       int  `json:"subcells,omitempty"`
+	Epoch          uint64 `json:"epoch"`
+	Points         int    `json:"points"`
+	Cells          int    `json:"cells"`
+	Polyominoes    int    `json:"polyominoes"`
+	DynamicEnabled bool   `json:"dynamic_enabled"`
+	Subcells       int    `json:"subcells,omitempty"`
 
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	RequestsTotal int64           `json:"requests_total"`
@@ -604,6 +647,7 @@ type statsResponse struct {
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := h.snapshot()
 	resp := statsResponse{
+		Epoch:          snap.epoch,
 		Points:         len(snap.points),
 		DynamicEnabled: snap.dynamic != nil,
 		UptimeSeconds:  time.Since(h.start).Seconds(),
@@ -787,6 +831,7 @@ func (h *Handler) handleSkyline(w http.ResponseWriter, r *http.Request) {
 	ids := d.QueryXY(x, y)
 	bp := getBuf()
 	buf := appendSkylineResponse(*bp, kind, x, y, ids, snap.frags)
+	setEpochHeader(w, snap.epoch)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf)
@@ -875,6 +920,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	buf := appendBatchResponse(*bp, kind, req.Queries, d.QueryXY)
 	h.reg.Counter("skyserve_batch_queries_total",
 		"Queries answered through /v1/skyline/batch.").Add(int64(len(req.Queries)))
+	setEpochHeader(w, snap.epoch)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf)

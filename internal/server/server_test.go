@@ -42,9 +42,12 @@ func getJSON(t *testing.T, url string, out interface{}) int {
 
 func TestHealthAndStats(t *testing.T) {
 	srv, hotels := newTestServer(t)
-	var health map[string]string
-	if code := getJSON(t, srv.URL+"/healthz", &health); code != 200 || health["status"] != "ok" {
-		t.Fatalf("healthz = %d %v", code, health)
+	var health healthResponse
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != 200 || health.Status != "ok" {
+		t.Fatalf("healthz = %+v (code %d)", health, code)
+	}
+	if health.Epoch != 1 {
+		t.Fatalf("fresh build should serve epoch 1, got %d", health.Epoch)
 	}
 	var stats statsResponse
 	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {

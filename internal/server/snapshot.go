@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"repro/internal/store"
+)
+
+// Snapshot replication. The builder node exposes its published snapshot as
+// a store-format file over GET /v1/snapshot; read replicas poll it with
+// their current epoch and swap the fetched file in via SwapStore. The
+// negotiation is deliberately dumb — full-state transfer with an epoch
+// short-circuit — because the store file is already the minimal replication
+// artifact: canonicalized (same point set => same bytes regardless of
+// maintenance history), CRC-trailed (a torn fetch fails at open, so the
+// transport needs no integrity protocol), and mmap-ready (a replica serves
+// it without materialization).
+//
+// Catch-up protocol: a replica sends ?epoch=N (the snapshot generation it
+// serves) and optionally If-None-Match with the ETag it last saw. If the
+// builder's epoch is <= N the reply is 304 Not Modified with X-Sky-Epoch,
+// costing one header round trip. Otherwise the reply is the full current
+// snapshot — there are no deltas, so a replica that fell arbitrarily far
+// behind (or starts empty with epoch 0) catches up in exactly one fetch.
+
+// snapshotETag is the entity tag for one published snapshot generation.
+func snapshotETag(epoch uint64, kind string) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("sky-e%d-%s", epoch, kind))
+}
+
+// handleSnapshot streams the current snapshot in store format.
+//
+//	GET /v1/snapshot?epoch=3            full snapshot, or 304 if epoch <= 3
+//	GET /v1/snapshot?kind=dynamic       explicit kind (must match what's served)
+//
+// A builder serves its in-memory quadrant diagram (the replication
+// artifact); a serve-from replica relays its mapped file byte-identically,
+// so a chain of replicas converges on the exact same bytes.
+func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := h.snapshot()
+	kind, err := normalizeKind(r.URL.Query().Get("kind"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	servedKind := "quadrant"
+	if snap.stored != nil {
+		servedKind = snap.storedKind
+	}
+	if kind != servedKind {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Sprintf("snapshot serves kind %q only", servedKind))
+		return
+	}
+	etag := snapshotETag(snap.epoch, servedKind)
+	setEpochHeader(w, snap.epoch)
+	w.Header().Set("ETag", etag)
+	if notModified(r, snap.epoch, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	var werr error
+	if snap.stored != nil {
+		_, werr = snap.stored.st.WriteTo(w)
+	} else {
+		werr = store.WriteEpoch(w, snap.quadrant.Cells(), snap.epoch)
+	}
+	if werr != nil {
+		// The status line is already on the wire; the replica detects the
+		// torn body by CRC at open and refetches.
+		log.Printf("skyserve: snapshot stream aborted: %v", werr)
+	}
+	h.reg.Counter("skyserve_snapshot_fetches_total",
+		"Full snapshot bodies streamed to replicas via /v1/snapshot.").Inc()
+}
+
+// notModified reports whether the client already holds this generation:
+// its ?epoch= is at or past ours, or its If-None-Match carries our ETag.
+func notModified(r *http.Request, epoch uint64, etag string) bool {
+	if e := r.URL.Query().Get("epoch"); e != "" {
+		if have, err := strconv.ParseUint(e, 10, 64); err == nil && have >= epoch {
+			return true
+		}
+	}
+	return r.Header.Get("If-None-Match") == etag
+}
+
+// SwapStore atomically replaces a serve-from handler's snapshot with a newer
+// store and returns the previous one, which the caller must Close once any
+// in-flight readers drain (store.Close waits for them). Only valid on
+// handlers built with NewServeFrom; the new store's epoch must be strictly
+// newer than the served one, so a stale or replayed snapshot can never
+// roll a replica backwards.
+func (h *Handler) SwapStore(st *store.Store) (*store.Store, error) {
+	if !h.readOnly {
+		return nil, fmt.Errorf("server: SwapStore on a non-serve-from handler")
+	}
+	kind := st.Kind()
+	if kind == "" {
+		return nil, fmt.Errorf("server: store has unknown diagram kind")
+	}
+	next := serveFromState(st, kind)
+	h.mu.Lock()
+	prev := h.st
+	if next.epoch <= prev.epoch {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("server: snapshot epoch %d is not newer than served epoch %d",
+			next.epoch, prev.epoch)
+	}
+	h.setState(next)
+	h.mu.Unlock()
+	h.swaps.Inc()
+	return prev.stored.st, nil
+}

@@ -4,10 +4,10 @@
 // machine, ship the file, query it on small ones without loading the whole
 // diagram into memory.
 //
-// File layout (all integers big-endian), format version 3:
+// File layout (all integers big-endian), format version 4:
 //
 //	header   magic "SKYDSTO1", version, dim, #points, cols, rows,
-//	         cellsPerPage, #pages, section offsets
+//	         cellsPerPage, #pages, section offsets, epoch
 //	points   id:int64, coords: dim × float64  (grid lines are rebuilt from
 //	         these on open, exactly as the in-memory constructors do)
 //	index    per page: offset:uint64, length:uint32, crc32:uint32
@@ -22,9 +22,18 @@
 // The arena is loaded (and checksummed) once at open; label pages go through
 // the page cache, and Cell resolves a label to a subslice of the arena — no
 // per-cell [][]int32 is ever materialized, and a cache-hit read allocates
-// nothing. Earlier formats still open read-compatibly: version 2 (and the
-// trailer-less version 1) pages carry per-cell id payloads which are decoded
-// per read, exactly as before.
+// nothing. Earlier formats still open read-compatibly: version 3 is version 4
+// minus the epoch field (a 64-byte header, epoch reads as 0), and version 2
+// (plus the trailer-less version 1) pages carry per-cell id payloads which
+// are decoded per read, exactly as before.
+//
+// Version 4 widens the header to 80 bytes and stamps the file with a
+// replication epoch: a monotonically increasing snapshot generation assigned
+// by the builder that published the file. Replicas negotiate snapshot
+// transfers by epoch (fetch only when the builder is ahead) and routers use
+// it to measure staleness; Epoch returns it, and the whole-file trailer CRC
+// covers it like every other header byte, so a flipped epoch is ErrCorrupt,
+// not a silent time warp.
 //
 // Every page is CRC-checked on load, and opening a version-2+ file of known
 // size verifies the full-file checksum trailer first, so silent corruption —
@@ -59,6 +68,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dyndiag"
 	"repro/internal/faultinject"
@@ -70,13 +81,18 @@ import (
 
 const (
 	magic   = "SKYDSTO1"
-	version = 3
+	version = 4
+	// versionNoEpoch is the epoch-less CSR format: identical to version 4
+	// except for the shorter header. Still opened (epoch reads as 0).
+	versionNoEpoch = 3
 	// versionLegacyCells is the last format whose pages carry per-cell id
 	// payloads instead of labels; kept writable so the read-compat promise
 	// stays executable in tests.
 	versionLegacyCells = 2
 	headerSize         = 64
-	indexEntrySz       = 16
+	// headerSizeV4 adds the epoch (uint64) plus 8 reserved zero bytes.
+	headerSizeV4 = 80
+	indexEntrySz = 16
 	// trailerMagic ends every version-2+ file, followed by a CRC32 of all
 	// preceding bytes.
 	trailerMagic = "SKYDEND1"
@@ -101,19 +117,30 @@ const (
 	kindDynamic  = 2
 )
 
-// Write serialises a quadrant diagram to w in the current (version 3,
-// interned CSR) format.
+// Write serialises a quadrant diagram to w in the current (version 4,
+// interned CSR) format with epoch 0 (an unversioned snapshot).
 func Write(w io.Writer, d *quaddiag.Diagram) error {
+	return WriteEpoch(w, d, 0)
+}
+
+// WriteEpoch is Write with an explicit replication epoch stamped into the
+// header — the builder's snapshot generation, negotiated by replicas.
+func WriteEpoch(w io.Writer, d *quaddiag.Diagram, epoch uint64) error {
 	labels, table := d.ExportCSR()
-	return writeCSR(w, d.Points, labels, table, d.Grid.Cols(), d.Grid.Rows(), kindQuadrant)
+	return writeCSR(w, d.Points, labels, table, d.Grid.Cols(), d.Grid.Rows(), kindQuadrant, epoch)
 }
 
 // WriteDynamic serialises a dynamic diagram to w. The subcell grid is
 // rebuilt deterministically from the points on open, exactly like the cell
 // grid of the quadrant form.
 func WriteDynamic(w io.Writer, d *dyndiag.Diagram) error {
+	return WriteDynamicEpoch(w, d, 0)
+}
+
+// WriteDynamicEpoch is WriteDynamic with an explicit replication epoch.
+func WriteDynamicEpoch(w io.Writer, d *dyndiag.Diagram, epoch uint64) error {
 	labels, table := d.ExportCSR()
-	return writeCSR(w, d.Points, labels, table, d.Sub.Cols(), d.Sub.Rows(), kindDynamic)
+	return writeCSR(w, d.Points, labels, table, d.Sub.Cols(), d.Sub.Rows(), kindDynamic, epoch)
 }
 
 // canonicalCSR reports whether labels reference every table result exactly
@@ -133,7 +160,7 @@ func canonicalCSR(labels []uint32, table *resultset.Table) bool {
 	return int(next) == table.NumResults()
 }
 
-// writeCSR writes the version-3 format: fixed-size label pages plus one
+// writeCSR writes the version-4 format: fixed-size label pages plus one
 // arena section holding the interned result table.
 //
 // The live frozen table is reused verbatim when it is already canonical (a
@@ -143,7 +170,7 @@ func canonicalCSR(labels []uint32, table *resultset.Table) bool {
 // persisting a from-scratch rebuild, and never writes maintenance garbage
 // (whose result count can exceed the cell count and would be rejected as
 // corrupt on open).
-func writeCSR(w io.Writer, pts []geom.Point, labels []uint32, table *resultset.Table, cols, rows, kind int) error {
+func writeCSR(w io.Writer, pts []geom.Point, labels []uint32, table *resultset.Table, cols, rows, kind int, epoch uint64) error {
 	numPages := (len(labels) + CellsPerPage - 1) / CellsPerPage
 	if len(labels) == 0 {
 		return fmt.Errorf("store: diagram has no cells")
@@ -173,7 +200,7 @@ func writeCSR(w io.Writer, pts []geom.Point, labels []uint32, table *resultset.T
 		pages[pg] = page
 	}
 	arena := encodeArena(table)
-	if err := writeSections(raw, bw, pts, pages, cols, rows, kind, version, arena); err != nil {
+	if err := writeSections(raw, bw, pts, pages, cols, rows, kind, version, arena, epoch); err != nil {
 		return err
 	}
 	return finishTrailer(raw, sum)
@@ -200,7 +227,7 @@ func writeLegacyCells(w io.Writer, pts []geom.Point, cells [][]int32, cols, rows
 		}
 		pages[pg] = encodePage(cells[start:end])
 	}
-	if err := writeSections(raw, bw, pts, pages, cols, rows, kind, versionLegacyCells, nil); err != nil {
+	if err := writeSections(raw, bw, pts, pages, cols, rows, kind, versionLegacyCells, nil, 0); err != nil {
 		return err
 	}
 	return finishTrailer(raw, sum)
@@ -209,14 +236,16 @@ func writeLegacyCells(w io.Writer, pts []geom.Point, cells [][]int32, cols, rows
 // writeSections writes header, points, page index, pages, and the optional
 // arena section through bw (raw is flushed on an injected page fault to
 // leave the torn prefix behind, as a crash would).
-func writeSections(raw *bufio.Writer, bw io.Writer, pts []geom.Point, pages [][]byte, cols, rows, kind int, v uint32, arena []byte) error {
+func writeSections(raw *bufio.Writer, bw io.Writer, pts []geom.Point, pages [][]byte, cols, rows, kind int, v uint32, arena []byte, epoch uint64) error {
 	be := binary.BigEndian
+	hdrSize := headerSizeFor(int(v))
 	pointsSize := len(pts) * (8 + 8*dimOf(pts))
-	indexOffset := headerSize + pointsSize
+	indexOffset := hdrSize + pointsSize
 	pagesOffset := indexOffset + len(pages)*indexEntrySz
 
-	// Header.
-	var hdr [headerSize]byte
+	// Header. Version 4 appends the epoch and 8 reserved zero bytes; every
+	// earlier field sits at the same offset in all versions.
+	hdr := make([]byte, hdrSize)
 	copy(hdr[0:8], magic)
 	be.PutUint32(hdr[8:], v)
 	be.PutUint32(hdr[12:], uint32(dimOf(pts)))
@@ -228,7 +257,10 @@ func writeSections(raw *bufio.Writer, bw io.Writer, pts []geom.Point, pages [][]
 	be.PutUint64(hdr[44:], uint64(indexOffset))
 	be.PutUint64(hdr[52:], uint64(pagesOffset))
 	be.PutUint32(hdr[60:], uint32(kind))
-	if _, err := bw.Write(hdr[:]); err != nil {
+	if hdrSize >= headerSizeV4 {
+		be.PutUint64(hdr[64:], epoch)
+	}
+	if _, err := bw.Write(hdr); err != nil {
 		return err
 	}
 
@@ -315,6 +347,15 @@ func encodeArena(t *resultset.Table) []byte {
 	return buf
 }
 
+// headerSizeFor returns the on-disk header size of a format version: 80
+// bytes from version 4 (epoch + reserved), 64 before.
+func headerSizeFor(v int) int {
+	if v >= 4 {
+		return headerSizeV4
+	}
+	return headerSize
+}
+
 func dimOf(pts []geom.Point) int {
 	if len(pts) == 0 {
 		return 2
@@ -362,6 +403,12 @@ const TempSuffix = ".tmp"
 // overwrites it on the next attempt and Recover discards it.
 func CreateFile(path string, d *quaddiag.Diagram) error {
 	return createFile(path, func(w io.Writer) error { return Write(w, d) })
+}
+
+// CreateFileEpoch is CreateFile with a replication epoch stamped into the
+// header.
+func CreateFileEpoch(path string, d *quaddiag.Diagram, epoch uint64) error {
+	return createFile(path, func(w io.Writer) error { return WriteEpoch(w, d, epoch) })
 }
 
 // CreateFileDynamic is CreateFile for a dynamic diagram.
@@ -458,8 +505,14 @@ type Store struct {
 	kind       int
 	cols, rows int
 	numPages   int
-	pageIndex  []pageMeta
-	xs, ys     []float64
+	// epoch is the replication generation stamped by the builder that
+	// published this snapshot (version 4+; 0 for earlier formats).
+	epoch uint64
+	// size is the file length in bytes when it was known at open, -1
+	// otherwise; WriteTo needs it to re-stream the snapshot to a peer.
+	size      int64
+	pageIndex []pageMeta
+	xs, ys    []float64
 	// xrank/yrank are O(1) point-location tables over xs/ys (see grid.Rank),
 	// so a stored-diagram query is two array loads plus a label indirection.
 	xrank, yrank *grid.Rank
@@ -475,6 +528,13 @@ type Store struct {
 	// (version 1 has no trailer, so it keeps the per-page-CRC cache path).
 	mapped   []byte
 	unmapper func([]byte) error
+
+	// active counts in-flight queries so Close can drain them before
+	// unmapping: a replica that swapped in a newer snapshot closes the old
+	// store while stragglers may still be reading mapped label pages, and
+	// unmapping under a reader would fault. Queries entering after Close
+	// began are still answered from the not-yet-released resources.
+	active atomic.Int64
 
 	mu      sync.Mutex
 	cache   *pageCache
@@ -608,7 +668,7 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 	}
 	be := binary.BigEndian
 	v := be.Uint32(hdr[8:])
-	if v != 1 && v != versionLegacyCells && v != version {
+	if v != 1 && v != versionLegacyCells && v != versionNoEpoch && v != version {
 		return nil, fmt.Errorf("store: unsupported version %d", v)
 	}
 	// Version-2 files carry a whole-file checksum trailer; verifying it up
@@ -627,6 +687,20 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 		cols:    int(be.Uint32(hdr[24:])),
 		rows:    int(be.Uint32(hdr[28:])),
 		kind:    int(be.Uint32(hdr[60:])),
+		size:    size,
+	}
+	hdrSize := headerSizeFor(s.version)
+	if s.version >= 4 {
+		// The epoch lives in the header extension; read it separately so
+		// shorter-headered versions never over-read.
+		var ext [headerSizeV4 - headerSize]byte
+		if err := faultinject.Hit("store.ReadAt"); err != nil {
+			return nil, fmt.Errorf("store: read header: %w", err)
+		}
+		if _, err := r.ReadAt(ext[:], headerSize); err != nil {
+			return nil, fmt.Errorf("store: read header: %w", err)
+		}
+		s.epoch = be.Uint64(ext[0:])
 	}
 	if s.kind != kindQuadrant && s.kind != kindDynamic {
 		return nil, fmt.Errorf("%w: unknown diagram kind %d", ErrCorrupt, s.kind)
@@ -653,24 +727,24 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 	}
 	s.numPages = wantPages
 	recordSize := int64(8 + 8*s.dim)
-	if numPoints64 > uint64((math.MaxInt64-headerSize)/recordSize) {
+	if numPoints64 > uint64((math.MaxInt64-int64(hdrSize))/recordSize) {
 		return nil, fmt.Errorf("%w: header: %d points", ErrCorrupt, numPoints64)
 	}
 	pointsBytes := int64(numPoints64) * recordSize
 	// The writer lays the index immediately after the points, so the two
 	// header fields must agree — a cheap structural check that catches a
 	// corrupted point count even when the reader size is unknown.
-	if indexOffset != headerSize+pointsBytes {
+	if indexOffset != int64(hdrSize)+pointsBytes {
 		return nil, fmt.Errorf("%w: header claims %d points but index offset %d (want %d)",
-			ErrCorrupt, numPoints64, indexOffset, headerSize+pointsBytes)
+			ErrCorrupt, numPoints64, indexOffset, int64(hdrSize)+pointsBytes)
 	}
 	if size >= 0 {
-		if headerSize+pointsBytes > size {
+		if int64(hdrSize)+pointsBytes > size {
 			return nil, fmt.Errorf("%w: header claims %d points (%d bytes) but reader holds %d bytes",
 				ErrCorrupt, numPoints64, pointsBytes, size)
 		}
 		indexBytes := int64(s.numPages) * indexEntrySz
-		if indexOffset < headerSize || indexOffset > size-indexBytes {
+		if indexOffset < int64(hdrSize) || indexOffset > size-indexBytes {
 			return nil, fmt.Errorf("%w: header claims a %d-byte page index at offset %d but reader holds %d bytes",
 				ErrCorrupt, indexBytes, indexOffset, size)
 		}
@@ -682,7 +756,7 @@ func NewSized(r io.ReaderAt, cacheSize int, size int64) (*Store, error) {
 	if err := faultinject.Hit("store.ReadAt"); err != nil {
 		return nil, fmt.Errorf("store: read points: %w", err)
 	}
-	if _, err := r.ReadAt(ptsBuf, headerSize); err != nil {
+	if _, err := r.ReadAt(ptsBuf, int64(hdrSize)); err != nil {
 		return nil, fmt.Errorf("store: read points: %w", err)
 	}
 	s.points = make([]geom.Point, numPoints)
@@ -826,8 +900,17 @@ func (s *Store) loadArena(arenaOff, size int64, numPoints int) error {
 }
 
 // Close releases the memory map (if any) and the underlying file when the
-// store owns one.
+// store owns one. In-flight queries are drained first (bounded wait), so a
+// replica may swap a newer snapshot in and close this one while stragglers
+// are still reading mapped pages — they finish against the live mapping,
+// then the map is released.
 func (s *Store) Close() error {
+	// Drain active readers before unmapping. The wait is bounded: queries
+	// are microseconds, so exhausting it means a stuck reader — at that
+	// point leaking the map briefly beats faulting it.
+	for i := 0; s.active.Load() != 0 && i < 4000; i++ {
+		time.Sleep(500 * time.Microsecond)
+	}
 	var err error
 	if s.mapped != nil && s.unmapper != nil {
 		err = s.unmapper(s.mapped)
@@ -846,6 +929,27 @@ func (s *Store) Points() []geom.Point { return s.points }
 
 // NumCells returns the diagram size.
 func (s *Store) NumCells() int { return s.cols * s.rows }
+
+// Epoch returns the replication epoch stamped by the builder that published
+// this snapshot, or 0 for pre-epoch (version <= 3) files.
+func (s *Store) Epoch() uint64 { return s.epoch }
+
+// WriteTo streams the snapshot file verbatim to w, letting a replica serve
+// the catch-up protocol from its own current file (chained replication) with
+// no re-serialization. Requires the file size to have been known at open
+// (Open, OpenMmap, or a sized reader).
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	if s.size < 0 {
+		return 0, errors.New("store: snapshot size unknown; cannot re-stream")
+	}
+	if s.mapped != nil {
+		s.active.Add(1)
+		defer s.active.Add(-1)
+		n, err := w.Write(s.mapped)
+		return int64(n), err
+	}
+	return io.Copy(w, io.NewSectionReader(s.r, 0, s.size))
+}
 
 // Kind returns the stored diagram kind, "quadrant" or "dynamic".
 func (s *Store) Kind() string {
@@ -878,6 +982,8 @@ func (s *Store) Query(q geom.Point) ([]int32, error) {
 // on the ReadAt path also surface as nil (the paths that can fail per-read
 // are exercised through Query/Cell, which report them).
 func (s *Store) QueryXY(x, y float64) []int32 {
+	s.active.Add(1)
+	defer s.active.Add(-1)
 	i, j := s.LocateXY(x, y)
 	cell := i*s.rows + j
 	if s.mapped != nil && s.version >= 3 {
@@ -900,6 +1006,8 @@ func (s *Store) QueryXY(x, y float64) []int32 {
 // slice aliases the shared arena and must not be modified; earlier formats
 // decode a fresh slice from the page payload.
 func (s *Store) Cell(i, j int) ([]int32, error) {
+	s.active.Add(1)
+	defer s.active.Add(-1)
 	if i < 0 || j < 0 || i >= s.cols || j >= s.rows {
 		return nil, fmt.Errorf("store: cell (%d,%d) out of range %dx%d", i, j, s.cols, s.rows)
 	}

@@ -121,4 +121,60 @@ test "$code" = "501"
 kill -TERM "$mem_pid" "$file_pid"
 wait "$mem_pid" "$file_pid" 2>/dev/null || true
 
+echo "== scale-out (builder + 2 replicas + router, replica killed mid-load)"
+go build -o "$tmp/skyrouter" ./cmd/skyrouter
+"$tmp/skyserve" -addr 127.0.0.1:18084 >/dev/null 2>&1 &
+builder_pid=$!
+"$tmp/skyserve" -addr 127.0.0.1:18085 -primary http://127.0.0.1:18084 \
+    -snapshot-dir "$tmp/rep1" -refresh 200ms >/dev/null 2>&1 &
+rep1_pid=$!
+"$tmp/skyserve" -addr 127.0.0.1:18086 -primary http://127.0.0.1:18084 \
+    -snapshot-dir "$tmp/rep2" -refresh 200ms >/dev/null 2>&1 &
+rep2_pid=$!
+"$tmp/skyrouter" -addr 127.0.0.1:18087 \
+    -replicas http://127.0.0.1:18085,http://127.0.0.1:18086 \
+    -primary http://127.0.0.1:18084 -health-interval 200ms >/dev/null 2>&1 &
+router_pid=$!
+trap 'kill "$serve_pid" "$over_pid" "$mem_pid" "$file_pid" "$builder_pid" "$rep1_pid" "$rep2_pid" "$router_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+for i in $(seq 1 100); do
+    curl -fsS http://127.0.0.1:18085/healthz >/dev/null 2>&1 &&
+    curl -fsS http://127.0.0.1:18086/healthz >/dev/null 2>&1 &&
+    curl -fsS http://127.0.0.1:18087/v1/health >/dev/null 2>&1 && break
+    sleep 0.1
+done
+# a routed answer must be byte-identical to the single in-memory builder's
+probe_diff() {
+    for q in 'x=10&y=80' 'x=0&y=0' 'x=55.5&y=41.25' 'x=100&y=100' 'x=-5&y=200'; do
+        curl -fsS "http://127.0.0.1:18084/v1/skyline?kind=quadrant&$q" > "$tmp/direct.json"
+        curl -fsS "http://127.0.0.1:18087/v1/skyline?kind=quadrant&$q" > "$tmp/routed.json"
+        cmp -s "$tmp/direct.json" "$tmp/routed.json" || {
+            echo "router mismatch on $q ($1)" >&2
+            diff "$tmp/direct.json" "$tmp/routed.json" >&2 || true
+            exit 1
+        }
+    done
+}
+probe_diff "both replicas up"
+# the router attributes the serving replica
+curl -fsSi 'http://127.0.0.1:18087/v1/skyline?kind=quadrant&x=10&y=80' \
+    | grep -qi 'X-Sky-Backend:'
+# writes forward to the builder and the new epoch propagates to the replicas
+code=$(curl -s -o /dev/null -w '%{http_code}' -d '{"id":99,"coords":[13,85]}' http://127.0.0.1:18087/v1/points)
+test "$code" = "201"
+sleep 1
+probe_diff "after routed write propagated"
+# kill one replica mid-load: every routed read must still succeed and match
+kill -TERM "$rep1_pid"
+wait "$rep1_pid" 2>/dev/null || true
+for i in $(seq 1 20); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' 'http://127.0.0.1:18087/v1/skyline?kind=quadrant&x=10&y=80')
+    test "$code" = "200" || { echo "routed read $i failed ($code) after replica kill" >&2; exit 1; }
+done
+probe_diff "one replica down"
+# the pool report still answers and the router never went dark
+curl -fsS http://127.0.0.1:18087/v1/health | grep -q '"replicas"'
+curl -fsS http://127.0.0.1:18087/metrics | grep -q 'skyrouter_requests_total'
+kill -TERM "$builder_pid" "$rep2_pid" "$router_pid"
+wait "$builder_pid" "$rep2_pid" "$router_pid" 2>/dev/null || true
+
 echo "smoke OK"
