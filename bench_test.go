@@ -495,16 +495,24 @@ func BenchmarkE12_CompactMemory(b *testing.B) {
 // returns to the base set, so every op pays a steady-state maintenance pass);
 // writes/sec is the figure EXPERIMENTS.md E18 quotes. n is kept at 400
 // because the full-rebuild baseline pays a from-scratch global build per
-// batch — the very cost incremental maintenance deletes.
+// batch — the very cost incremental maintenance deletes. The wal mode is
+// incremental plus the durability barrier (append + one fsync per coalesced
+// batch); scripts/bench.sh gates it within 2x of incremental at writers=1,
+// pinning the group-commit amortization.
 func BenchmarkE18_WriteThroughput(b *testing.B) {
 	pts := experiments.GenQuadrant(dataset.Independent, 400, benchSeed)
 	for _, mode := range []struct {
 		name string
 		full bool
-	}{{"incremental", false}, {"full-rebuild", true}} {
+		wal  bool
+	}{{"incremental", false, false}, {"full-rebuild", true, false}, {"wal", false, true}} {
 		for _, writers := range []int{1, 8} {
 			b.Run(fmt.Sprintf("%s/writers=%d", mode.name, writers), func(b *testing.B) {
-				h, err := server.New(pts, server.Config{Workers: -1, FullRebuild: mode.full})
+				cfg := server.Config{Workers: -1, FullRebuild: mode.full}
+				if mode.wal {
+					cfg.WALDir = b.TempDir()
+				}
+				h, err := server.New(pts, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

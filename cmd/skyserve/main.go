@@ -24,11 +24,27 @@
 // bigger batches), and readers keep answering from the previous snapshot
 // until the new one is swapped in. See docs/MAINTENANCE.md.
 //
+// -wal-dir makes writes durable: every coalesced batch is appended to a
+// write-ahead log in that directory and fsynced once (group commit) before
+// it is acknowledged, and on restart the log is replayed on top of the
+// checkpoint snapshot kept alongside it — a crash loses no acknowledged
+// write. -checkpoint-bytes bounds the retained log between checkpoints:
+//
+//	skyserve -in points.csv -wal-dir /var/lib/skyserve -addr :8080
+//
+// The listener binds immediately; until the initial build, WAL replay, or
+// replica bootstrap completes, liveness endpoints answer 200 "starting" and
+// everything else — including GET /v1/ready, the readiness probe — answers
+// 503, flipping to 200 once the first snapshot is servable.
+//
 // Every API request runs under -request-timeout via http.TimeoutHandler;
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ outside the
 // timeout wrapper (profiles stream for longer than any API deadline). On
 // SIGINT/SIGTERM the server drains in-flight requests for up to
-// -shutdown-grace before exiting. See docs/OBSERVABILITY.md.
+// -shutdown-grace, then flushes the pending write queue through the WAL
+// (append + fsync + apply), checkpoints, and closes the log — queued
+// acknowledged ops are never stranded. See docs/OBSERVABILITY.md and
+// docs/RELIABILITY.md.
 //
 // Overload protection is tuned with -max-inflight, -max-queue, and
 // -update-wait: excess traffic is shed with 429/503 + Retry-After while
@@ -82,6 +98,10 @@ func main() {
 		"how long a batch leader waits for more writes to queue before applying (adds write latency)")
 	fullRebuild := flag.Bool("full-rebuild", false,
 		"rebuild the global/dynamic diagrams from scratch on every write instead of maintaining them incrementally")
+	walDir := flag.String("wal-dir", "",
+		"write-ahead log directory: fsync writes before acking, replay on restart (empty disables durability)")
+	ckptBytes := flag.Int64("checkpoint-bytes", server.DefaultCheckpointBytes,
+		"retained WAL bytes that trigger a snapshot checkpoint and log truncation (-1 disables automatic checkpoints)")
 	compactRatio := flag.Float64("compact-ratio", server.DefaultCompactRatio,
 		"arena garbage fraction that triggers off-lock compaction after a write batch (-1 disables)")
 	faults := flag.String("faults", os.Getenv(faultinject.EnvVar),
@@ -106,13 +126,40 @@ func main() {
 		CoalesceDelay:    *coalesceDelay,
 		FullRebuild:      *fullRebuild,
 		CompactRatio:     *compactRatio,
+		WALDir:           *walDir,
+		CheckpointBytes:  *ckptBytes,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Bind the listener before the (possibly long) build, WAL replay, or
+	// replica bootstrap: port conflicts surface immediately, liveness probes
+	// see 200 "starting", and readiness (/v1/ready and every other endpoint)
+	// answers 503 until the gate flips to the real handler.
+	gate := server.NewGate()
+	root := http.NewServeMux()
+	root.Handle("/", gate)
+	if *pprofOn {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           root,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
 	var h *server.Handler
 	var pts []geom.Point
+	if *walDir != "" && (*serveFrom != "" || *primary != "") {
+		log.Fatal("skyserve: -wal-dir applies to builder mode only (not -serve-from or -primary)")
+	}
 	switch {
 	case *primary != "":
 		if *serveFrom != "" || *in != "" {
@@ -179,24 +226,7 @@ func main() {
 	if *reqTimeout > 0 {
 		api = http.TimeoutHandler(api, *reqTimeout, `{"error":"request timed out"}`)
 	}
-	root := http.NewServeMux()
-	root.Handle("/", api)
-	if *pprofOn {
-		root.HandleFunc("/debug/pprof/", pprof.Index)
-		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           root,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	gate.Ready(api)
 	fmt.Printf("skyserve: %d points, listening on %s (pprof %v)\n", len(pts), *addr, *pprofOn)
 
 	select {
@@ -210,5 +240,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("skyserve: shutdown: %v", err)
+	}
+	// Flush the pending write queue through the WAL and checkpoint, within
+	// what remains of the grace budget — a queued op whose writer already got
+	// (or will get) a 200 must be on disk before the process exits.
+	if err := h.Shutdown(shutdownCtx); err != nil {
+		log.Printf("skyserve: flush: %v", err)
 	}
 }

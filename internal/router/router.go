@@ -201,21 +201,23 @@ func (rt *Router) HealthCheck(ctx context.Context) {
 	wg.Wait()
 }
 
+// probe checks one replica, preferring readiness over liveness: /v1/ready
+// distinguishes "process up, snapshot not yet published" (WAL replay or
+// replica bootstrap in progress — alive but unable to answer queries) from
+// actually serving. Replicas predating the readiness split answer 404/405
+// there, in which case the probe falls back to /v1/health, the old behavior.
 func (rt *Router) probe(ctx context.Context, name string, b *backend) {
 	ctx, cancel := context.WithTimeout(ctx, healthProbeTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/health", nil)
-	if err != nil {
-		return
+	status, epoch, hasEpoch, err := rt.probeURL(ctx, b.base+"/v1/ready")
+	if err == nil && (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) {
+		status, epoch, hasEpoch, err = rt.probeURL(ctx, b.base+"/v1/health")
 	}
-	resp, err := rt.httpc.Do(req)
 	ok := false
 	if err == nil {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		resp.Body.Close()
-		ok = resp.StatusCode == http.StatusOK
-		if e, perr := strconv.ParseUint(resp.Header.Get("X-Sky-Epoch"), 10, 64); perr == nil {
-			b.epoch.Store(e)
+		ok = status == http.StatusOK
+		if hasEpoch {
+			b.epoch.Store(epoch)
 		}
 	}
 	b.healthy.Store(ok)
@@ -228,6 +230,26 @@ func (rt *Router) probe(ctx context.Context, name string, b *backend) {
 	rt.reg.Gauge("skyrouter_backend_epoch",
 		"Snapshot epoch the replica last reported.", "backend", name).
 		Set(float64(b.epoch.Load()))
+}
+
+// probeURL performs one probe round trip, reporting the status and the
+// X-Sky-Epoch header when present (hasEpoch distinguishes a missing header
+// from epoch 0, so a 503 from a still-starting gate never zeroes the view).
+func (rt *Router) probeURL(ctx context.Context, url string) (status int, epoch uint64, hasEpoch bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if e, perr := strconv.ParseUint(resp.Header.Get("X-Sky-Epoch"), 10, 64); perr == nil {
+		epoch, hasEpoch = e, true
+	}
+	return resp.StatusCode, epoch, hasEpoch, nil
 }
 
 // candidates returns the dataset's replicas in try-order: its ring order

@@ -368,3 +368,70 @@ func TestRouterHealthReportsPool(t *testing.T) {
 }
 
 func jsonBody(s string) io.Reader { return strings.NewReader(s) }
+
+// TestProbePrefersReadiness: the health loop probes /v1/ready when a backend
+// exposes it — a replica that is alive but still bootstrapping (503 from the
+// startup gate) must not receive traffic — and falls back to /v1/health for
+// backends predating the readiness split.
+func TestProbePrefersReadiness(t *testing.T) {
+	mk := func(handler http.HandlerFunc) *httptest.Server {
+		srv := httptest.NewServer(handler)
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	// Serves both endpoints with different epochs: the probe must report
+	// readiness's view.
+	both := mk(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/ready":
+			w.Header().Set("X-Sky-Epoch", "7")
+			io.WriteString(w, `{"status":"ready","epoch":7}`)
+		case "/v1/health":
+			w.Header().Set("X-Sky-Epoch", "3")
+			io.WriteString(w, `{"status":"ok","epoch":3}`)
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	// Alive but starting: liveness green, readiness 503 — must be unhealthy.
+	starting := mk(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/ready":
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"starting"}`, http.StatusServiceUnavailable)
+		case "/v1/health":
+			io.WriteString(w, `{"status":"starting"}`)
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	// Pre-readiness replica: only /v1/health exists; the probe falls back.
+	legacy := mk(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/health" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("X-Sky-Epoch", "5")
+		io.WriteString(w, `{"status":"ok","epoch":5}`)
+	})
+
+	rt, err := New(Config{Replicas: []string{both.URL, starting.URL, legacy.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.HealthCheck(context.Background())
+
+	check := func(url string, wantHealthy bool, wantEpoch uint64) {
+		t.Helper()
+		b := rt.backends[url]
+		if got := b.healthy.Load(); got != wantHealthy {
+			t.Errorf("%s healthy = %v, want %v", url, got, wantHealthy)
+		}
+		if got := b.epoch.Load(); got != wantEpoch {
+			t.Errorf("%s epoch = %d, want %d", url, got, wantEpoch)
+		}
+	}
+	check(both.URL, true, 7)      // readiness view wins over liveness
+	check(starting.URL, false, 0) // alive but not ready: no traffic
+	check(legacy.URL, true, 5)    // fallback keeps old replicas routable
+}

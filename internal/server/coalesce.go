@@ -153,8 +153,30 @@ func (h *Handler) runBatch() {
 	}
 	if next != set {
 		// At least one op applied: publish one snapshot for the whole batch.
+		epoch := base.epoch + 1
+		if h.wal != nil {
+			// Group commit — the durability barrier. Log only the applied
+			// (non-rejected) ops, stamped with the epoch the swap will
+			// publish, and fsync once for the whole batch. On failure the
+			// batch sheds wholesale before the swap: the published snapshot
+			// is untouched, nothing was acked, and the log holds no record
+			// of a state that was never served — log and snapshot cannot
+			// diverge in either direction.
+			applied := make([]core.Op, 0, len(ops))
+			for i := range ops {
+				if results[i].Err == nil {
+					applied = append(applied, ops[i])
+				}
+			}
+			if err := h.wal.Commit(epoch, applied); err != nil {
+				fail(fmt.Errorf("%w: wal commit: %v", errRebuildFailed, err))
+				return
+			}
+			h.walCommits.Inc()
+			h.walBytes.Set(float64(h.wal.Size()))
+		}
 		st := stateFromSet(next)
-		st.epoch = base.epoch + 1
+		st.epoch = epoch
 		h.mu.Lock()
 		h.setState(st)
 		h.mu.Unlock()
@@ -167,6 +189,7 @@ func (h *Handler) runBatch() {
 		po.done <- opResult{points: results[i].Points, err: results[i].Err}
 	}
 	h.maybeCompact()
+	h.maybeCheckpoint()
 }
 
 // maybeCompact reclaims copy-on-write arena garbage once it crosses the

@@ -1,0 +1,482 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+)
+
+// Durability suite: the WAL-backed write path must never lose an
+// acknowledged write across a crash, and must never resurrect one that was
+// rejected or shed. "Crash" here is in-process: the handler is abandoned
+// without Flush/Shutdown (exactly the state a kill -9 leaves on disk, since
+// every ack happens strictly after the fsync) and a fresh handler recovers
+// from the same directory. scripts/smoke.sh additionally kills a real
+// skyserve process mid-traffic.
+
+func newDurableHandler(t *testing.T, dir string, cfg Config) *Handler {
+	t.Helper()
+	cfg.WALDir = dir
+	h, err := New(dataset.Hotels(), cfg)
+	if err != nil {
+		t.Fatalf("New(durable): %v", err)
+	}
+	return h
+}
+
+func doInsert(h *Handler, id int, x, y float64) int {
+	body := fmt.Sprintf(`{"id":%d,"coords":[%g,%g]}`, id, x, y)
+	req := httptest.NewRequest("POST", "/v1/points", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+func doDelete(h *Handler, id int) int {
+	req := httptest.NewRequest("DELETE", fmt.Sprintf("/v1/points/%d", id), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+func hasPoint(h *Handler, id int) bool {
+	for _, p := range h.snapshot().points {
+		if p.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// assertDiagramOracle rebuilds the diagrams from scratch out of the served
+// point set and requires the recovered set to be equal — recovery must
+// produce exactly the state a fresh build of the surviving points would.
+func assertDiagramOracle(t *testing.T, h *Handler) {
+	t.Helper()
+	snap := h.snapshot()
+	fresh, err := core.BuildSet(snap.points, core.UpdateOptions{MaxDynamicPoints: h.maxDynamic})
+	if err != nil {
+		t.Fatalf("oracle build: %v", err)
+	}
+	if !snap.diagramSet().Equal(fresh) {
+		t.Fatal("recovered diagrams differ from a fresh build of the same points")
+	}
+}
+
+func TestCrashRecoveryPreservesAckedWrites(t *testing.T) {
+	dir := t.TempDir()
+	h := newDurableHandler(t, dir, Config{})
+	for i := 0; i < 5; i++ {
+		if code := doInsert(h, 810000+i, float64(i*7)+0.5, float64(40-i)+0.5); code != 201 {
+			t.Fatalf("insert %d: code %d", i, code)
+		}
+	}
+	if code := doDelete(h, 810001); code != 200 {
+		t.Fatalf("delete: code %d", code)
+	}
+	epoch := h.snapshot().epoch
+	// Crash: no Flush, no checkpoint, no Close — recovery rides the log.
+
+	h2 := newDurableHandler(t, dir, Config{})
+	defer h2.Shutdown(context.Background())
+	if got := h2.snapshot().epoch; got != epoch {
+		t.Fatalf("recovered epoch %d, want %d", got, epoch)
+	}
+	for i := 0; i < 5; i++ {
+		id := 810000 + i
+		want := id != 810001
+		if hasPoint(h2, id) != want {
+			t.Fatalf("id %d present=%v after recovery, want %v", id, !want, want)
+		}
+	}
+	assertDiagramOracle(t, h2)
+
+	// The recovery boot checkpointed and truncated: a third open replays
+	// nothing and serves the same epoch.
+	h3 := newDurableHandler(t, dir, Config{})
+	defer h3.Shutdown(context.Background())
+	if got := h3.snapshot().epoch; got != epoch {
+		t.Fatalf("second recovery epoch %d, want %d", got, epoch)
+	}
+	if got := metricGaugeValue(t, h3, "skyserve_wal_replayed_batches"); got != 0 {
+		t.Fatalf("second recovery replayed %v batches, want 0 (checkpoint truncated)", got)
+	}
+}
+
+// metricGaugeValue reads one un-labelled series from the handler's registry.
+func metricGaugeValue(t *testing.T, h *Handler, name string) float64 {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return metricValue(t, rec.Body.String(), name)
+}
+
+// TestCrashWALFailpointRefusesAck: a failed append or fsync must fail the
+// write with 500 (nothing acked), leave the served snapshot untouched, and
+// leave nothing in the log — the op is absent after recovery, and a retry
+// commits cleanly.
+func TestCrashWALFailpointRefusesAck(t *testing.T) {
+	for _, site := range []string{"wal.append", "wal.sync"} {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			h := newDurableHandler(t, dir, Config{})
+			base := h.snapshot().epoch
+			if err := faultinject.Activate(site + "=error#1"); err != nil {
+				t.Fatal(err)
+			}
+			defer faultinject.Deactivate()
+			if code := doInsert(h, 820001, 3.5, 77.5); code != 500 {
+				t.Fatalf("insert under %s: code %d, want 500", site, code)
+			}
+			if got := h.snapshot().epoch; got != base {
+				t.Fatalf("failed commit still bumped epoch %d -> %d", base, got)
+			}
+			if hasPoint(h, 820001) {
+				t.Fatal("failed commit still published the insert")
+			}
+			// Budget exhausted (#1): the retry must succeed and be durable.
+			if code := doInsert(h, 820001, 3.5, 77.5); code != 201 {
+				t.Fatalf("retry: code %d", code)
+			}
+
+			h2 := newDurableHandler(t, dir, Config{})
+			defer h2.Shutdown(context.Background())
+			if !hasPoint(h2, 820001) {
+				t.Fatal("acked retry lost after recovery")
+			}
+			assertDiagramOracle(t, h2)
+		})
+	}
+}
+
+// TestCrashRotateFailpointKeepsDurability: a failing checkpoint rotation
+// must never affect the write path — writes stay acked and recoverable, the
+// log just isn't truncated yet.
+func TestCrashRotateFailpointKeepsDurability(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny budget so every batch tries to checkpoint (and fails to rotate).
+	h := newDurableHandler(t, dir, Config{CheckpointBytes: 1})
+	if err := faultinject.Activate("wal.rotate=error"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Deactivate()
+	for i := 0; i < 4; i++ {
+		if code := doInsert(h, 830000+i, float64(i*9)+0.5, float64(50-i)+0.5); code != 201 {
+			t.Fatalf("insert %d: code %d", i, code)
+		}
+	}
+	faultinject.Deactivate()
+
+	h2 := newDurableHandler(t, dir, Config{})
+	defer h2.Shutdown(context.Background())
+	for i := 0; i < 4; i++ {
+		if !hasPoint(h2, 830000+i) {
+			t.Fatalf("id %d lost after recovery", 830000+i)
+		}
+	}
+	assertDiagramOracle(t, h2)
+}
+
+// TestWALGroupCommitOneFsyncPerBatch pins the group-commit contract: a batch
+// of queued writers shares exactly one fsync (and one WAL record).
+func TestWALGroupCommitOneFsyncPerBatch(t *testing.T) {
+	dir := t.TempDir()
+	h := newDurableHandler(t, dir, Config{})
+	defer h.Shutdown(context.Background())
+
+	h.updateSlot <- struct{}{} // hold the writer slot so ops queue up
+	const n = 5
+	codes := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			codes <- doInsert(h, 840000+i, float64(i*11)+0.5, float64(60-i)+0.5)
+		}(i)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		h.pendMu.Lock()
+		defer h.pendMu.Unlock()
+		return len(h.pending) == n
+	})
+	syncs0, commits0 := h.wal.Syncs(), h.wal.Commits()
+	epoch0 := h.snapshot().epoch
+	<-h.updateSlot // release: one leader claims the whole queue
+	for i := 0; i < n; i++ {
+		if code := <-codes; code != 201 {
+			t.Fatalf("insert code %d", code)
+		}
+	}
+	if got := h.wal.Syncs() - syncs0; got != 1 {
+		t.Fatalf("batch of %d used %d fsyncs, want exactly 1 (group commit)", n, got)
+	}
+	if got := h.wal.Commits() - commits0; got != 1 {
+		t.Fatalf("batch of %d wrote %d records, want 1", n, got)
+	}
+	if got := h.snapshot().epoch; got != epoch0+1 {
+		t.Fatalf("batch bumped epoch %d -> %d, want one generation", epoch0, got)
+	}
+}
+
+// TestWALCheckpointBoundsDisk: under sustained churn with a small checkpoint
+// budget, the retained log and segment count must stay bounded.
+func TestWALCheckpointBoundsDisk(t *testing.T) {
+	dir := t.TempDir()
+	h := newDurableHandler(t, dir, Config{CheckpointBytes: 256})
+	defer h.Shutdown(context.Background())
+	for i := 0; i < 60; i++ {
+		id := 850000 + i
+		if code := doInsert(h, id, float64(i%23)+0.5, float64(i%31)+0.5); code != 201 {
+			t.Fatalf("insert %d: code %d", i, code)
+		}
+		if code := doDelete(h, id); code != 200 {
+			t.Fatalf("delete %d: code %d", i, code)
+		}
+		if sz := h.wal.Size(); sz > 4096 {
+			t.Fatalf("retained WAL grew to %d bytes under churn (budget 256)", sz)
+		}
+	}
+	if segs := h.wal.Segments(); segs > 2 {
+		t.Fatalf("%d segments retained, want <= 2", segs)
+	}
+	if ckpts := metricGaugeValue(t, h, "skyserve_wal_checkpoints_total"); ckpts == 0 {
+		t.Fatal("no checkpoints ran under churn")
+	}
+}
+
+// TestShutdownFlushMidQueueLosesNothing: ops still queued (leader not yet
+// run) when Shutdown starts must be appended, fsynced, applied, and acked —
+// not stranded — and must survive a subsequent recovery.
+func TestShutdownFlushMidQueueLosesNothing(t *testing.T) {
+	dir := t.TempDir()
+	h := newDurableHandler(t, dir, Config{})
+
+	h.updateSlot <- struct{}{} // freeze leadership so the queue builds up
+	const n = 6
+	codes := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			codes <- doInsert(h, 860000+i, float64(i*13)+0.5, float64(70-i)+0.5)
+		}(i)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		h.pendMu.Lock()
+		defer h.pendMu.Unlock()
+		return len(h.pending) == n
+	})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		<-h.updateSlot
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if code := <-codes; code != 201 {
+			t.Fatalf("queued insert answered %d across shutdown", code)
+		}
+	}
+
+	h2 := newDurableHandler(t, dir, Config{})
+	defer h2.Shutdown(context.Background())
+	for i := 0; i < n; i++ {
+		if !hasPoint(h2, 860000+i) {
+			t.Fatalf("id %d flushed at shutdown but lost", 860000+i)
+		}
+	}
+	assertDiagramOracle(t, h2)
+}
+
+// opTrace tracks what the writers learned about one id: which ops were
+// attempted and which were acknowledged with a 2xx.
+type opTrace struct {
+	insertAcked bool
+	deleteTried bool
+	deleteAcked bool
+}
+
+// TestChaosCrashBuilderKillsUnderTraffic is the acceptance chaos leg: rounds
+// of concurrent write traffic with WAL failpoints firing randomly, each
+// round ended by an abrupt abandon (the on-disk state of a kill -9), then a
+// recovery that must satisfy, per id:
+//
+//	delete acked           -> absent
+//	delete attempted only  -> either (the batch may or may not have landed)
+//	insert acked           -> present
+//	insert attempted only  -> either
+//
+// plus the differential oracle (recovered diagrams == fresh build of the
+// recovered points) every round — zero acked-write loss, zero torn state.
+func TestChaosCrashBuilderKillsUnderTraffic(t *testing.T) {
+	captureLog(t) // recovery logs replay lines; keep test output clean
+	dir := t.TempDir()
+	traces := make(map[int]*opTrace)
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(99))
+	faultinject.Seed(99)
+
+	const rounds = 4
+	const writers = 4
+	const opsPerWriter = 25
+	// MaxDynamicPoints stays at the hotel count: the dataset grows into the
+	// hundreds and the O(n^4) dynamic diagram would dominate the run time
+	// without adding crash coverage.
+	cfg := Config{CheckpointBytes: 512, MaxDynamicPoints: 12}
+	for round := 0; round < rounds; round++ {
+		// Small checkpoint budget: truncation races the traffic too.
+		h := newDurableHandler(t, dir, cfg)
+
+		// Random fault mix for this round: appends and fsyncs fail with some
+		// probability, so some batches shed mid-round (never acked).
+		spec := fmt.Sprintf("wal.append=error@%.2f;wal.sync=error@%.2f",
+			0.05+rng.Float64()*0.15, 0.05+rng.Float64()*0.15)
+		if err := faultinject.Activate(spec); err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				seed := rand.New(rand.NewSource(int64(round*100 + w)))
+				for i := 0; i < opsPerWriter; i++ {
+					id := 900000 + round*10000 + w*1000 + i
+					tr := &opTrace{}
+					mu.Lock()
+					traces[id] = tr
+					mu.Unlock()
+					code := doInsert(h, id, float64(seed.Intn(800))+0.25, float64(seed.Intn(800))+0.25)
+					if code == 201 {
+						mu.Lock()
+						tr.insertAcked = true
+						mu.Unlock()
+					}
+					if code == 201 && seed.Intn(2) == 0 {
+						mu.Lock()
+						tr.deleteTried = true
+						mu.Unlock()
+						if doDelete(h, id) == 200 {
+							mu.Lock()
+							tr.deleteAcked = true
+							mu.Unlock()
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		faultinject.Deactivate()
+		// Crash: abandon the handler — no flush, no final checkpoint, no
+		// close. Whatever the log holds is what recovery gets.
+
+		h2 := newDurableHandler(t, dir, cfg)
+		mu.Lock()
+		for id, tr := range traces {
+			present := hasPoint(h2, id)
+			switch {
+			case tr.deleteAcked:
+				if present {
+					t.Fatalf("round %d: id %d present after acked delete", round, id)
+				}
+			case tr.deleteTried:
+				// Unacked delete: either outcome is consistent.
+			case tr.insertAcked:
+				if !present {
+					t.Fatalf("round %d: id %d lost after acked insert", round, id)
+				}
+			}
+		}
+		mu.Unlock()
+		assertDiagramOracle(t, h2)
+		// h2 is abandoned too; the next round re-recovers from the same dir.
+	}
+}
+
+// TestDurableRejectionsNotLogged: rejected ops (duplicate insert, unknown
+// delete) must not enter the WAL — replay would otherwise abort on them.
+func TestDurableRejectionsNotLogged(t *testing.T) {
+	dir := t.TempDir()
+	h := newDurableHandler(t, dir, Config{})
+	if code := doInsert(h, 870001, 5.5, 33.5); code != 201 {
+		t.Fatalf("insert: code %d", code)
+	}
+	if code := doInsert(h, 870001, 5.5, 33.5); code != 409 {
+		t.Fatalf("duplicate insert: code %d, want 409", code)
+	}
+	if code := doDelete(h, 879999); code != 404 {
+		t.Fatalf("unknown delete: code %d, want 404", code)
+	}
+
+	h2 := newDurableHandler(t, dir, Config{})
+	defer h2.Shutdown(context.Background())
+	if !hasPoint(h2, 870001) {
+		t.Fatal("acked insert lost")
+	}
+	assertDiagramOracle(t, h2)
+}
+
+// TestReadyEndpoint: a constructed handler always answers ready with its
+// epoch — the 503 phase belongs to the Gate.
+func TestReadyEndpoint(t *testing.T) {
+	h, err := New(dataset.Hotels(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/v1/ready", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("/v1/ready: code %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Sky-Epoch"); got != "1" {
+		t.Fatalf("/v1/ready epoch header %q, want 1", got)
+	}
+	if !strings.Contains(rec.Body.String(), `"ready"`) {
+		t.Fatalf("/v1/ready body %q lacks status ready", rec.Body.String())
+	}
+}
+
+// TestGateStartingThenReady: before Ready the gate serves liveness 200 and
+// readiness/API 503; after Ready everything delegates.
+func TestGateStartingThenReady(t *testing.T) {
+	g := NewGate()
+	get := func(path string) (int, string) {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		g.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+	for _, path := range []string{"/healthz", "/v1/health"} {
+		if code, body := get(path); code != 200 || !strings.Contains(body, `"starting"`) {
+			t.Fatalf("%s before ready: code %d body %q", path, code, body)
+		}
+	}
+	for _, path := range []string{"/v1/ready", "/v1/skyline?x=1&y=1", "/v1/snapshot"} {
+		if code, _ := get(path); code != 503 {
+			t.Fatalf("%s before ready: code %d, want 503", path, code)
+		}
+	}
+
+	h, err := New(dataset.Hotels(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Ready(h)
+	if code, body := get("/v1/ready"); code != 200 || !strings.Contains(body, `"ready"`) {
+		t.Fatalf("/v1/ready after ready: code %d body %q", code, body)
+	}
+	if code, _ := get("/v1/skyline?x=10&y=80"); code != 200 {
+		t.Fatalf("/v1/skyline after ready: code %d", code)
+	}
+}

@@ -1,0 +1,42 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Gate is the startup readiness gate: it lets a process bind its listener
+// immediately — so liveness probes and port conflicts resolve right away —
+// while the real handler is still being constructed (initial build, WAL
+// replay, or replica bootstrap). Until Ready is called, liveness endpoints
+// answer 200 "starting" and everything else (including /v1/ready, the whole
+// point) answers 503 + Retry-After; after Ready every request is delegated
+// to the real handler. This is the 503 half of the readiness split: the
+// Handler's own /v1/ready is always 200, because a constructed Handler has
+// by definition published a snapshot.
+type Gate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewGate returns a gate in the starting (not ready) state.
+func NewGate() *Gate { return &Gate{} }
+
+// Ready publishes the real handler; every subsequent request delegates to
+// it. Safe to call once from any goroutine.
+func (g *Gate) Ready(h http.Handler) { g.h.Store(&h) }
+
+// ServeHTTP implements http.Handler.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if hp := g.h.Load(); hp != nil {
+		(*hp).ServeHTTP(w, r)
+		return
+	}
+	switch r.URL.Path {
+	case "/healthz", "/v1/health":
+		// Alive but not ready: the process is up and making progress.
+		writeJSON(w, http.StatusOK, healthResponse{Status: "starting"})
+	default:
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeError(w, http.StatusServiceUnavailable, "starting: snapshot not yet published")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -38,6 +39,16 @@ type Replica struct {
 
 	curPath string // file backing the currently served store
 
+	// Backoff on persistent primary failure: consecutive fetch errors grow
+	// the poll delay exponentially (with jitter, so a fleet of replicas
+	// doesn't stampede a recovering primary), and one success resets it.
+	consecFails int
+	maxBackoff  time.Duration
+	rng         *rand.Rand
+	// after is the clock seam: tests swap it to drive Run deterministically
+	// and record the delays it asked for. Defaults to time.After.
+	after func(time.Duration) <-chan time.Time
+
 	refreshes  interface{ Inc() }
 	fetchErrs  interface{ Inc() }
 	staleSecs  interface{ Set(float64) }
@@ -53,6 +64,9 @@ type ReplicaConfig struct {
 	Dir string
 	// Interval between snapshot polls. 0 means the default of 2s.
 	Interval time.Duration
+	// MaxBackoff caps the poll delay reached through consecutive fetch
+	// failures. 0 means the default of 30s (or Interval, if larger).
+	MaxBackoff time.Duration
 	// HTTPClient overrides the fetch client (tests inject fakes). nil uses
 	// a client with a 30s timeout.
 	HTTPClient *http.Client
@@ -60,6 +74,9 @@ type ReplicaConfig struct {
 
 // DefaultRefreshInterval is the default snapshot poll cadence.
 const DefaultRefreshInterval = 2 * time.Second
+
+// DefaultMaxBackoff caps the failure backoff between snapshot polls.
+const DefaultMaxBackoff = 30 * time.Second
 
 // BootstrapReplica brings up a replica: it serves the newest valid cached
 // snapshot if the directory holds one, otherwise blocks fetching the first
@@ -78,14 +95,23 @@ func BootstrapReplica(ctx context.Context, rc ReplicaConfig, cfg Config) (*Handl
 	if rc.Interval <= 0 {
 		rc.Interval = DefaultRefreshInterval
 	}
+	if rc.MaxBackoff <= 0 {
+		rc.MaxBackoff = DefaultMaxBackoff
+		if rc.Interval > rc.MaxBackoff {
+			rc.MaxBackoff = rc.Interval
+		}
+	}
 	if rc.HTTPClient == nil {
 		rc.HTTPClient = &http.Client{Timeout: 30 * time.Second}
 	}
 	r := &Replica{
-		primary:  strings.TrimRight(rc.Primary, "/"),
-		dir:      rc.Dir,
-		interval: rc.Interval,
-		httpc:    rc.HTTPClient,
+		primary:    strings.TrimRight(rc.Primary, "/"),
+		dir:        rc.Dir,
+		interval:   rc.Interval,
+		maxBackoff: rc.MaxBackoff,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+		after:      time.After,
+		httpc:      rc.HTTPClient,
 	}
 
 	st, path := r.openCached()
@@ -123,22 +149,43 @@ func BootstrapReplica(ctx context.Context, rc ReplicaConfig, cfg Config) (*Handl
 	return h, r, nil
 }
 
-// Run polls the primary until ctx is done. Errors are logged and retried on
-// the next tick — a replica keeps serving its current snapshot through any
-// primary outage.
+// Run polls the primary until ctx is done. Errors are logged and retried —
+// a replica keeps serving its current snapshot through any primary outage —
+// but consecutive failures back the poll rate off exponentially (jittered,
+// capped at MaxBackoff) instead of hammering a primary that is down or
+// overloaded at the full refresh cadence. One success restores the
+// configured interval.
 func (r *Replica) Run(ctx context.Context) {
-	t := time.NewTicker(r.interval)
-	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-r.after(r.nextDelay()):
 			if _, err := r.Refresh(ctx); err != nil {
 				log.Printf("skyserve: replica refresh: %v", err)
 			}
 		}
 	}
+}
+
+// nextDelay is the wait before the next poll: the configured interval while
+// healthy; on the n-th consecutive failure, a uniformly jittered sample from
+// [base/2, base] where base = interval·2^n capped at maxBackoff. Full-range
+// jitter keeps a fleet of replicas that failed together from thundering back
+// in lockstep when the primary recovers.
+func (r *Replica) nextDelay() time.Duration {
+	if r.consecFails == 0 {
+		return r.interval
+	}
+	base := r.interval
+	for i := 0; i < r.consecFails && base < r.maxBackoff; i++ {
+		base *= 2
+	}
+	if base > r.maxBackoff {
+		base = r.maxBackoff
+	}
+	half := base / 2
+	return half + time.Duration(r.rng.Int63n(int64(half)+1))
 }
 
 // Refresh performs one poll-and-swap step, reporting whether a newer
@@ -149,11 +196,13 @@ func (r *Replica) Refresh(ctx context.Context) (bool, error) {
 	st, path, err := r.fetch(ctx, cur)
 	if err != nil {
 		r.fetchErrs.Inc()
+		r.consecFails++
 		return false, err
 	}
 	if st == nil { // 304: already current
 		r.staleSecs.Set(0)
 		r.lastChange = time.Now()
+		r.consecFails = 0
 		return false, nil
 	}
 	old, err := r.h.SwapStore(st)
@@ -161,12 +210,14 @@ func (r *Replica) Refresh(ctx context.Context) (bool, error) {
 		st.Close()
 		os.Remove(path)
 		r.fetchErrs.Inc()
+		r.consecFails++
 		return false, err
 	}
 	oldPath := r.curPath
 	r.curPath = path
 	r.lastChange = time.Now()
 	r.staleSecs.Set(0)
+	r.consecFails = 0
 	r.refreshes.Inc()
 	// Close drains in-flight readers off the old mapping before unmapping.
 	old.Close()

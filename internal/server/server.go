@@ -10,6 +10,7 @@
 //
 //	GET    /healthz                                liveness
 //	GET    /v1/health                              liveness (never load-shed)
+//	GET    /v1/ready                               readiness (503 until a snapshot is published)
 //	GET    /metrics                                Prometheus text exposition
 //	GET    /v1/stats                               dataset, diagram, and traffic stats
 //	GET    /v1/skyline?kind=quadrant&x=10&y=80     skyline query
@@ -94,6 +95,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // Config controls which diagrams the handler builds.
@@ -137,6 +139,21 @@ type Config struct {
 	// dynamic diagrams: every write rebuilds them from scratch, the
 	// pre-incremental behavior. An escape hatch and benchmark baseline.
 	FullRebuild bool
+	// WALDir enables durable writes: every coalesced batch is appended to a
+	// write-ahead log in this directory and fsynced once (group commit)
+	// before the snapshot is published and the writers are acknowledged. On
+	// construction the log is replayed on top of the checkpoint snapshot in
+	// the same directory, so a crash loses no acknowledged write. Empty
+	// (the default) disables the WAL: writes are in-memory only, the
+	// pre-durability behavior. See docs/RELIABILITY.md.
+	WALDir string
+	// CheckpointBytes bounds the retained WAL: once the log exceeds it
+	// after a write batch, the published snapshot is persisted as the
+	// checkpoint and the segments it covers are truncated. 0 means the
+	// default of 1 MiB; negative disables automatic checkpoints (boot,
+	// shutdown, and snapshot-serve checkpoints still run). Ignored without
+	// WALDir.
+	CheckpointBytes int64
 	// CompactRatio triggers arena compaction: incremental maintenance
 	// copies-on-write, so deleted and superseded skyline results accumulate
 	// as garbage in the interned result arenas. When the garbage fraction
@@ -272,6 +289,17 @@ type Handler struct {
 	compactRatio  float64            // arena garbage fraction that triggers compaction; <=0 disables
 	compactions   *metrics.Counter   // arena compactions performed
 
+	// Durable writes (see durable.go): nil wal means durability is off.
+	wal             *wal.WAL
+	snapPath        string // checkpoint snapshot path inside WALDir
+	checkpointBytes int64
+	lastCkpt        atomic.Uint64 // epoch of the newest persisted checkpoint
+	ckptMu          sync.Mutex    // serializes checkpointNow
+	ckptInFlight    atomic.Bool   // gates checkpointAsync to one goroutine
+	walCommits      *metrics.Counter
+	walCkpts        *metrics.Counter
+	walBytes        *metrics.Gauge
+
 	// readOnly marks a serve-from handler: the snapshot is a diagram file,
 	// inserts and deletes answer 501.
 	readOnly bool
@@ -300,8 +328,15 @@ func (h *Handler) buildState(pts []geom.Point) (*state, error) {
 	return stateFromSet(set), nil
 }
 
-// New builds the diagrams and the routing table.
+// New builds the diagrams and the routing table. With Config.WALDir set it
+// additionally recovers durable state first: the checkpoint snapshot in
+// that directory (when present) replaces pts as the base, the write-ahead
+// log is replayed on top, and every subsequent write batch is logged and
+// fsynced before it is acknowledged (see durable.go).
 func New(pts []geom.Point, cfg Config) (*Handler, error) {
+	if cfg.WALDir != "" {
+		return newDurable(pts, cfg)
+	}
 	h := newHandler(cfg)
 	st, err := h.buildState(pts)
 	if err != nil {
@@ -372,23 +407,27 @@ func newHandler(cfg Config) *Handler {
 	if cfg.CompactRatio == 0 {
 		cfg.CompactRatio = DefaultCompactRatio
 	}
+	if cfg.CheckpointBytes == 0 {
+		cfg.CheckpointBytes = DefaultCheckpointBytes
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
 	h := &Handler{
-		maxDynamic:    cfg.MaxDynamicPoints,
-		maxBatch:      cfg.MaxBatch,
-		maxBatchBody:  batchBodyLimit(cfg.MaxBatch),
-		workers:       cfg.Workers,
-		updateWait:    cfg.UpdateWait,
-		updateSlot:    make(chan struct{}, 1),
-		maxCoalesce:   cfg.MaxCoalesce,
-		coalesceDelay: cfg.CoalesceDelay,
-		fullRebuild:   cfg.FullRebuild,
-		compactRatio:  cfg.CompactRatio,
-		start:         time.Now(),
-		reg:           reg,
+		maxDynamic:      cfg.MaxDynamicPoints,
+		maxBatch:        cfg.MaxBatch,
+		maxBatchBody:    batchBodyLimit(cfg.MaxBatch),
+		workers:         cfg.Workers,
+		updateWait:      cfg.UpdateWait,
+		checkpointBytes: cfg.CheckpointBytes,
+		updateSlot:      make(chan struct{}, 1),
+		maxCoalesce:     cfg.MaxCoalesce,
+		coalesceDelay:   cfg.CoalesceDelay,
+		fullRebuild:     cfg.FullRebuild,
+		compactRatio:    cfg.CompactRatio,
+		start:           time.Now(),
+		reg:             reg,
 		requests: reg.Counter("skyserve_requests_total",
 			"HTTP requests served, all endpoints."),
 		swaps: reg.Counter("skyserve_snapshot_swaps_total",
@@ -436,6 +475,7 @@ func (h *Handler) initRoutes() {
 	// matters.
 	mux.HandleFunc("GET /healthz", h.instrument("/healthz", h.handleHealth))
 	mux.HandleFunc("GET /v1/health", h.instrument("/v1/health", h.handleHealth))
+	mux.HandleFunc("GET /v1/ready", h.instrument("/v1/ready", h.handleReady))
 	mux.HandleFunc("GET /metrics", h.instrument("/metrics", h.handleMetrics))
 	mux.HandleFunc("GET /v1/stats", h.instrument("/v1/stats", h.limit(h.handleStats)))
 	mux.HandleFunc("GET /v1/snapshot", h.instrument("/v1/snapshot", h.limit(h.handleSnapshot)))
@@ -599,6 +639,18 @@ func (h *Handler) handleHealth(w http.ResponseWriter, _ *http.Request) {
 type healthResponse struct {
 	Status string `json:"status"`
 	Epoch  uint64 `json:"epoch"`
+}
+
+// handleReady answers readiness, distinct from liveness: a Handler only
+// exists once its snapshot is published (build, WAL replay, or replica
+// bootstrap complete), so here readiness is always 200. The 503 phase is
+// served by the startup Gate in front of the handler (see gate.go) while
+// construction is still in flight — probes therefore see "starting" until
+// the first snapshot is servable, then flip to ready.
+func (h *Handler) handleReady(w http.ResponseWriter, _ *http.Request) {
+	epoch := h.snapshot().epoch
+	setEpochHeader(w, epoch)
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ready", Epoch: epoch})
 }
 
 // setEpochHeader stamps a response with the snapshot generation it was

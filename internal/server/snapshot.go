@@ -76,6 +76,12 @@ func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	h.reg.Counter("skyserve_snapshot_fetches_total",
 		"Full snapshot bodies streamed to replicas via /v1/snapshot.").Inc()
+	if werr == nil {
+		// A replica just pulled this generation, so its bytes are durable
+		// off-box too — a natural moment to checkpoint the local WAL.
+		// Off the request path; no-op without a WAL or when already current.
+		h.checkpointAsync()
+	}
 }
 
 // notModified reports whether the client already holds this generation:

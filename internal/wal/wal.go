@@ -1,0 +1,489 @@
+// Package wal is an append-only write-ahead log of skyline diagram update
+// operations — the durability layer under the server's write path. The
+// builder acknowledges an insert or delete only after the operation is on
+// disk: the coalesce leader appends its whole claimed batch as one record
+// and fsyncs once (group commit), so a burst of writers shares a single
+// disk barrier, then applies the batch in memory and acks. On restart the
+// log is replayed on top of the last checkpointed snapshot, so every
+// acknowledged write survives a crash.
+//
+// Layout: a WAL directory holds numbered segment files (wal-NNNNNNNN.log).
+// Each segment starts with an 8-byte header (magic + version) followed by
+// records:
+//
+//	u32 payload length | payload | u32 CRC32(payload)
+//	payload = u64 epoch | u32 nops | ops...
+//	op      = u8 kind | i64 id [| u16 dim | dim × f64 coords]
+//
+// One record is one committed batch, stamped with the snapshot epoch the
+// batch produced; epochs are strictly increasing across the live log.
+//
+// Crash tolerance mirrors store.Recover: opening a WAL scans each segment
+// and stops at the first bad record (short length, CRC mismatch, garbled
+// payload) — a torn tail from a crash mid-append is silently dropped, which
+// is correct because a torn record was never fsynced-and-acked. Appends
+// after a restart always go to a fresh segment, so valid records are never
+// written behind a torn tail. A failed append or fsync rolls the file back
+// to the previous record boundary; if even the rollback fails the log
+// marks itself broken and refuses further commits rather than risk
+// acknowledging writes it cannot replay.
+//
+// Checkpointing bounds the disk: once the snapshot at epoch E is durably
+// persisted elsewhere, Checkpoint(E) rotates the active segment and deletes
+// every closed segment whose records are all at or below E. Replay of a
+// record at or below the checkpoint epoch is skipped by the caller, so a
+// crash between snapshot persist and truncation only costs disk, never
+// correctness.
+//
+// Failpoints (internal/faultinject): wal.append, wal.sync, wal.rotate.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+const (
+	segMagic   = 0x534b4c57 // "SKLW"
+	segVersion = 1
+	headerSize = 8
+
+	segPrefix = "wal-"
+	segSuffix = ".log"
+
+	// maxRecordBytes bounds one record so a corrupt length prefix cannot
+	// drive a huge allocation at open.
+	maxRecordBytes = 64 << 20
+	// maxOpDim bounds a decoded point's dimensionality (sanity check; the
+	// serving stack only ever logs 2-D operations).
+	maxOpDim = 64
+
+	opDelete = 0
+	opInsert = 1
+)
+
+// ErrBroken marks a log that failed to roll back a partial append: its tail
+// can no longer be trusted to end on a record boundary, so every further
+// commit is refused. The server degrades to failing writes (nothing new is
+// acknowledged) instead of acknowledging writes it could not replay.
+var ErrBroken = errors.New("wal: log broken (failed rollback of a partial append)")
+
+// ErrClosed marks a commit against a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// Record is one committed batch: the ops applied and the snapshot epoch the
+// batch produced.
+type Record struct {
+	Epoch uint64
+	Ops   []core.Op
+}
+
+// segment is one closed (no longer appended-to) log file.
+type segment struct {
+	path     string
+	seq      uint64
+	size     int64  // record bytes (header excluded)
+	maxEpoch uint64 // largest record epoch inside; 0 when empty
+}
+
+// WAL is an open write-ahead log. All methods are safe for concurrent use;
+// in the serving stack only the single coalesce leader commits, so the
+// internal mutex is uncontended on the hot path.
+type WAL struct {
+	dir string
+
+	mu         sync.Mutex
+	f          *os.File // active segment
+	seq        uint64   // active segment sequence number
+	activePath string
+	size       int64  // bytes written to the active segment past its header
+	maxEpoch   uint64 // largest epoch in the active segment
+	records    int    // records in the active segment
+	closed     []segment
+	broken     error
+	done       bool
+
+	syncs   atomic.Int64
+	commits atomic.Int64
+}
+
+// Open opens (creating if necessary) the WAL in dir and returns every intact
+// record in commit order — the replay stream. Each segment is scanned up to
+// its first bad record; appends always go to a freshly created segment, so a
+// torn tail can never be followed by valid records. Segments that hold no
+// records are deleted.
+func Open(dir string) (*WAL, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), seq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+
+	w := &WAL{dir: dir}
+	var recs []Record
+	for i := range segs {
+		s := &segs[i]
+		srecs, err := readSegment(s.path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(srecs) == 0 {
+			// Nothing worth keeping: an empty segment from a clean restart,
+			// or one whose only record is torn (never acked). Reclaim it.
+			_ = os.Remove(s.path)
+			continue
+		}
+		for _, r := range srecs {
+			if r.Epoch > s.maxEpoch {
+				s.maxEpoch = r.Epoch
+			}
+			s.size += recordBytes(r)
+		}
+		recs = append(recs, srecs...)
+		w.closed = append(w.closed, *s)
+		if s.seq > w.seq {
+			w.seq = s.seq
+		}
+	}
+	if len(segs) > 0 && segs[len(segs)-1].seq > w.seq {
+		w.seq = segs[len(segs)-1].seq
+	}
+	if err := w.newSegment(); err != nil {
+		return nil, nil, err
+	}
+	return w, recs, nil
+}
+
+// newSegment creates and syncs the next active segment. Caller holds w.mu
+// (or is the constructor).
+func (w *WAL) newSegment() error {
+	w.seq++
+	path := filepath.Join(w.dir, fmt.Sprintf("%s%08d%s", segPrefix, w.seq, segSuffix))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], segMagic)
+	binary.BigEndian.PutUint32(hdr[4:], segVersion)
+	if _, err := f.WriteAt(hdr[:], 0); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("wal: init segment: %w", err)
+	}
+	w.f = f
+	w.activePath = path
+	w.size = 0
+	w.maxEpoch = 0
+	w.records = 0
+	syncDir(w.dir)
+	return nil
+}
+
+// Commit durably appends one batch record — write, then a single fsync —
+// and only returns nil once the record would survive a crash. Any failure
+// rolls the file back to the previous record boundary so the log never
+// carries a half-record ahead of live data; a failed rollback marks the log
+// ErrBroken.
+func (w *WAL) Commit(epoch uint64, ops []core.Op) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return ErrClosed
+	}
+	if w.broken != nil {
+		return w.broken
+	}
+	if err := faultinject.Hit("wal.append"); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	buf := encodeRecord(epoch, ops)
+	if _, err := w.f.WriteAt(buf, headerSize+w.size); err != nil {
+		w.rollback()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := faultinject.Hit("wal.sync"); err != nil {
+		w.rollback()
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.rollback()
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	w.size += int64(len(buf))
+	if epoch > w.maxEpoch {
+		w.maxEpoch = epoch
+	}
+	w.records++
+	w.syncs.Add(1)
+	w.commits.Add(1)
+	return nil
+}
+
+// rollback truncates the active segment back to the last committed record
+// after a failed append, so the bytes of the failed record can never sit
+// between two valid ones. Caller holds w.mu.
+func (w *WAL) rollback() {
+	if err := w.f.Truncate(headerSize + w.size); err != nil {
+		w.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+		return
+	}
+	_ = w.f.Sync()
+}
+
+// Checkpoint records that every write at or below epoch is durably captured
+// in a snapshot elsewhere: the active segment is rotated out (if it holds
+// any records) and every closed segment whose records are all at or below
+// epoch is deleted. Records above the epoch are always retained.
+func (w *WAL) Checkpoint(epoch uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return ErrClosed
+	}
+	if err := faultinject.Hit("wal.rotate"); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if w.records > 0 {
+		prev := segment{path: w.activePath, seq: w.seq, size: w.size, maxEpoch: w.maxEpoch}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("wal: rotate: %w", err)
+		}
+		w.closed = append(w.closed, prev)
+		if err := w.newSegment(); err != nil {
+			// No active segment remains: refuse further commits loudly
+			// rather than write into a closed file.
+			w.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+			return err
+		}
+	}
+	keep := w.closed[:0]
+	for _, s := range w.closed {
+		if s.maxEpoch <= epoch {
+			_ = os.Remove(s.path)
+			continue
+		}
+		keep = append(keep, s)
+	}
+	w.closed = keep
+	syncDir(w.dir)
+	return nil
+}
+
+// Size returns the record bytes currently retained across every segment —
+// the replay volume a crash right now would pay, and the quantity the
+// checkpoint policy bounds.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := w.size
+	for _, s := range w.closed {
+		total += s.size
+	}
+	return total
+}
+
+// Segments returns how many log files the WAL currently keeps on disk.
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return 1 + len(w.closed)
+}
+
+// Syncs returns how many fsyncs Commit has issued — one per committed
+// batch, the group-commit contract.
+func (w *WAL) Syncs() int64 { return w.syncs.Load() }
+
+// Commits returns how many batch records were durably committed.
+func (w *WAL) Commits() int64 { return w.commits.Load() }
+
+// Close releases the active segment. Further commits return ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return nil
+	}
+	w.done = true
+	return w.f.Close()
+}
+
+// syncDir fsyncs a directory so segment creates and removals survive power
+// loss; filesystems that refuse directory fsyncs are tolerated (same policy
+// as the store's atomic publish).
+func syncDir(dir string) {
+	df, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer df.Close()
+	_ = df.Sync()
+}
+
+// --- Record encoding --------------------------------------------------------
+
+// recordBytes is the on-disk footprint of one record (framing included).
+func recordBytes(r Record) int64 {
+	n := int64(4 + 12 + 4) // length prefix + epoch + nops + CRC
+	for _, op := range r.Ops {
+		n += 9 // kind + id
+		if op.Insert {
+			n += int64(2 + 8*len(op.Point.Coords))
+		}
+	}
+	return n
+}
+
+func encodeRecord(epoch uint64, ops []core.Op) []byte {
+	n := 12 // epoch + nops
+	for _, op := range ops {
+		n += 9
+		if op.Insert {
+			n += 2 + 8*len(op.Point.Coords)
+		}
+	}
+	buf := make([]byte, 4+n+4)
+	be := binary.BigEndian
+	be.PutUint32(buf, uint32(n))
+	off := 4
+	be.PutUint64(buf[off:], epoch)
+	off += 8
+	be.PutUint32(buf[off:], uint32(len(ops)))
+	off += 4
+	for _, op := range ops {
+		if op.Insert {
+			buf[off] = opInsert
+			off++
+			be.PutUint64(buf[off:], uint64(int64(op.Point.ID)))
+			off += 8
+			be.PutUint16(buf[off:], uint16(len(op.Point.Coords)))
+			off += 2
+			for _, c := range op.Point.Coords {
+				be.PutUint64(buf[off:], math.Float64bits(c))
+				off += 8
+			}
+		} else {
+			buf[off] = opDelete
+			off++
+			be.PutUint64(buf[off:], uint64(int64(op.ID)))
+			off += 8
+		}
+	}
+	be.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[4:off]))
+	return buf
+}
+
+var errBadRecord = errors.New("wal: bad record")
+
+func decodePayload(p []byte) (Record, error) {
+	be := binary.BigEndian
+	if len(p) < 12 {
+		return Record{}, errBadRecord
+	}
+	rec := Record{Epoch: be.Uint64(p)}
+	nops := int(be.Uint32(p[8:]))
+	off := 12
+	if nops < 0 || nops > len(p) { // each op is ≥ 9 bytes; cheap upper bound
+		return Record{}, errBadRecord
+	}
+	rec.Ops = make([]core.Op, 0, nops)
+	for i := 0; i < nops; i++ {
+		if off+9 > len(p) {
+			return Record{}, errBadRecord
+		}
+		kind := p[off]
+		id := int(int64(be.Uint64(p[off+1:])))
+		off += 9
+		switch kind {
+		case opDelete:
+			rec.Ops = append(rec.Ops, core.DeleteOp(id))
+		case opInsert:
+			if off+2 > len(p) {
+				return Record{}, errBadRecord
+			}
+			dim := int(be.Uint16(p[off:]))
+			off += 2
+			if dim > maxOpDim || off+8*dim > len(p) {
+				return Record{}, errBadRecord
+			}
+			coords := make([]float64, dim)
+			for d := 0; d < dim; d++ {
+				coords[d] = math.Float64frombits(be.Uint64(p[off:]))
+				off += 8
+			}
+			rec.Ops = append(rec.Ops, core.InsertOp(core.Point{ID: id, Coords: coords}))
+		default:
+			return Record{}, errBadRecord
+		}
+	}
+	if off != len(p) {
+		return Record{}, errBadRecord
+	}
+	return rec, nil
+}
+
+// readSegment scans one segment file, returning every record up to the
+// first bad one — the torn-tail tolerance rule. A missing or garbled header
+// yields zero records (the file was never validly initialized). Only I/O
+// errors are reported; corruption is where the scan stops, not an error.
+func readSegment(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read segment: %w", err)
+	}
+	be := binary.BigEndian
+	if len(data) < headerSize ||
+		be.Uint32(data) != segMagic || be.Uint32(data[4:]) != segVersion {
+		return nil, nil
+	}
+	var recs []Record
+	off := headerSize
+	for off+8 <= len(data) {
+		ln := int(be.Uint32(data[off:]))
+		if ln <= 0 || ln > maxRecordBytes || off+4+ln+4 > len(data) {
+			break // torn tail: length prefix runs past the file
+		}
+		payload := data[off+4 : off+4+ln]
+		if crc32.ChecksumIEEE(payload) != be.Uint32(data[off+4+ln:]) {
+			break // torn or bit-rotted record
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += 8 + ln
+	}
+	return recs, nil
+}

@@ -1,0 +1,342 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/geom"
+)
+
+func mkOps(epoch uint64) []core.Op {
+	return []core.Op{
+		core.InsertOp(geom.Point{ID: int(epoch)*10 + 1, Coords: []float64{float64(epoch), 2.5}}),
+		core.InsertOp(geom.Point{ID: int(epoch)*10 + 2, Coords: []float64{7, float64(epoch) + 0.25}}),
+		core.DeleteOp(int(epoch)*10 + 3),
+	}
+}
+
+func mustOpen(t *testing.T, dir string) (*WAL, []Record) {
+	t.Helper()
+	w, recs, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return w, recs
+}
+
+func TestWALRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	w, recs := mustOpen(t, dir)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	var want []Record
+	for epoch := uint64(2); epoch <= 6; epoch++ {
+		ops := mkOps(epoch)
+		if err := w.Commit(epoch, ops); err != nil {
+			t.Fatalf("Commit(%d): %v", epoch, err)
+		}
+		want = append(want, Record{Epoch: epoch, Ops: ops})
+	}
+	if got := w.Commits(); got != 5 {
+		t.Fatalf("Commits = %d, want 5", got)
+	}
+	if got := w.Syncs(); got != 5 {
+		t.Fatalf("Syncs = %d, want 5 (one per batch)", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(7, mkOps(7)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Commit after Close = %v, want ErrClosed", err)
+	}
+
+	w2, got := mustOpen(t, dir)
+	defer w2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWALEmptyBatchRecord pins that a record with zero ops (a batch where
+// every op was rejected never commits, but the encoding must still roundtrip)
+// survives.
+func TestWALEmptyBatchRecord(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+	if err := w.Commit(2, nil); err != nil {
+		t.Fatalf("Commit(empty): %v", err)
+	}
+	w.Close()
+	w2, recs := mustOpen(t, dir)
+	defer w2.Close()
+	if len(recs) != 1 || recs[0].Epoch != 2 || len(recs[0].Ops) != 0 {
+		t.Fatalf("replay = %+v, want one empty record at epoch 2", recs)
+	}
+}
+
+// activeSegment returns the newest (largest-sequence) segment file in dir.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(paths)
+	return paths[len(paths)-1]
+}
+
+// TestWALTornTailEveryOffset simulates a crash mid-append at every possible
+// byte boundary of the final record: however short the torn tail, replay must
+// return exactly the fully committed records before it and never error.
+func TestWALTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+	if err := w.Commit(2, mkOps(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(3, mkOps(3)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	seg := activeSegment(t, dir)
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2End := headerSize + recordBytes(Record{Epoch: 2, Ops: mkOps(2)})
+	if int64(len(full)) <= rec2End {
+		t.Fatalf("segment only %d bytes, record 2 ends at %d", len(full), rec2End)
+	}
+	for cut := rec2End; cut < int64(len(full)); cut++ {
+		tdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(tdir, filepath.Base(seg)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, recs, err := Open(tdir)
+		if err != nil {
+			t.Fatalf("cut at %d: Open: %v", cut, err)
+		}
+		w2.Close()
+		if len(recs) != 1 || recs[0].Epoch != 2 {
+			t.Fatalf("cut at %d: replayed %+v, want exactly the epoch-2 record", cut, recs)
+		}
+	}
+}
+
+// TestWALBitFlipDropsTail flips one byte inside the first record: the scan
+// must stop there (CRC), dropping both records rather than replaying garbage.
+func TestWALBitFlipDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+	if err := w.Commit(2, mkOps(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(3, mkOps(3)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	seg := activeSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+10] ^= 0xff // inside record 2's payload
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, recs := mustOpen(t, dir)
+	defer w2.Close()
+	if len(recs) != 0 {
+		t.Fatalf("replayed %+v past a corrupt record", recs)
+	}
+}
+
+// TestWALOpenNeverAppendsToOldSegments pins the fresh-segment rule that makes
+// per-segment torn-tail scanning sound: a reopened log appends to a new file,
+// so valid records can never land behind a torn tail.
+func TestWALOpenNeverAppendsToOldSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+	if err := w.Commit(2, mkOps(2)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	first := activeSegment(t, dir)
+	before, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w2, _ := mustOpen(t, dir)
+	if err := w2.Commit(3, mkOps(3)); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	after, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("reopen mutated a pre-existing segment")
+	}
+	if got := activeSegment(t, dir); got == first {
+		t.Fatal("commit after reopen went into the old segment")
+	}
+}
+
+// TestWALOpenReclaimsEmptySegments: clean restarts leave record-less active
+// segments behind; reopening must delete them instead of accreting files.
+func TestWALOpenReclaimsEmptySegments(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 5; i++ {
+		w, _ := mustOpen(t, dir)
+		w.Close()
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if len(paths) != 1 {
+		t.Fatalf("%d segments after 5 empty open/close cycles, want 1", len(paths))
+	}
+}
+
+func TestWALCheckpointTruncates(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+	defer w.Close()
+	for epoch := uint64(2); epoch <= 4; epoch++ {
+		if err := w.Commit(epoch, mkOps(epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Size() == 0 {
+		t.Fatal("Size = 0 with three records retained")
+	}
+	// Checkpoint at epoch 3: the active segment (holding 2..4) rotates but
+	// must be retained — it carries epoch 4, above the checkpoint.
+	if err := w.Checkpoint(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Segments(); got != 2 {
+		t.Fatalf("Segments = %d after partial checkpoint, want 2 (rotated + active)", got)
+	}
+	// Checkpoint at epoch 4 covers everything: all closed segments go, only
+	// the empty active file remains.
+	if err := w.Checkpoint(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Segments(); got != 1 {
+		t.Fatalf("Segments = %d after full checkpoint, want 1", got)
+	}
+	if got := w.Size(); got != 0 {
+		t.Fatalf("Size = %d after full checkpoint, want 0", got)
+	}
+
+	// Everything checkpointed was truncated: a reopen replays nothing, and
+	// records committed after the checkpoint still replay.
+	if err := w.Commit(5, mkOps(5)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, recs := mustOpen(t, dir)
+	defer w2.Close()
+	if len(recs) != 1 || recs[0].Epoch != 5 {
+		t.Fatalf("replay after checkpoint = %+v, want only epoch 5", recs)
+	}
+}
+
+// TestWALCrashFailpoints drives the wal.append and wal.sync sites: a failed
+// commit must report the error, leave no trace in the log (rollback to the
+// record boundary), and leave the WAL usable for the next commit.
+func TestWALCrashFailpoints(t *testing.T) {
+	for _, site := range []string{"wal.append", "wal.sync"} {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			w, _ := mustOpen(t, dir)
+			if err := w.Commit(2, mkOps(2)); err != nil {
+				t.Fatal(err)
+			}
+			if err := faultinject.Activate(site + "=error#1"); err != nil {
+				t.Fatal(err)
+			}
+			defer faultinject.Deactivate()
+			err := w.Commit(3, mkOps(3))
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("Commit under %s = %v, want injected error", site, err)
+			}
+			// The failed record must not be durable, and the log must accept
+			// the retry.
+			if err := w.Commit(3, mkOps(3)); err != nil {
+				t.Fatalf("Commit retry: %v", err)
+			}
+			w.Close()
+			w2, recs := mustOpen(t, dir)
+			defer w2.Close()
+			if len(recs) != 2 || recs[0].Epoch != 2 || recs[1].Epoch != 3 {
+				t.Fatalf("replay = %+v, want epochs [2 3]", recs)
+			}
+		})
+	}
+}
+
+// TestWALRotateFailpoint: a failed rotation leaves the log intact and
+// retrying succeeds.
+func TestWALRotateFailpoint(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+	defer w.Close()
+	if err := w.Commit(2, mkOps(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Activate("wal.rotate=error#1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Deactivate()
+	if err := w.Checkpoint(2); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Checkpoint = %v, want injected error", err)
+	}
+	if got := w.Size(); got == 0 {
+		t.Fatal("failed rotation still truncated the log")
+	}
+	if err := w.Checkpoint(2); err != nil {
+		t.Fatalf("Checkpoint retry: %v", err)
+	}
+	if got := w.Size(); got != 0 {
+		t.Fatalf("Size = %d after checkpoint retry, want 0", got)
+	}
+}
+
+// TestWALMultiSegmentReplayOrder: records spread across several segments (via
+// rotations that retain them) replay in commit order.
+func TestWALMultiSegmentReplayOrder(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := mustOpen(t, dir)
+	for epoch := uint64(2); epoch <= 7; epoch++ {
+		if err := w.Commit(epoch, mkOps(epoch)); err != nil {
+			t.Fatal(err)
+		}
+		// Rotate with an epoch below everything: every segment is retained.
+		if err := w.Checkpoint(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Segments(); got != 7 {
+		t.Fatalf("Segments = %d, want 7 (6 rotated + active)", got)
+	}
+	w.Close()
+	w2, recs := mustOpen(t, dir)
+	defer w2.Close()
+	if len(recs) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Epoch != uint64(i+2) {
+			t.Fatalf("record %d has epoch %d, want %d (commit order)", i, rec.Epoch, i+2)
+		}
+	}
+}

@@ -14,7 +14,11 @@
 #     write-throughput figure);
 #   - point-location contract: BenchmarkLocateRank not strictly faster than
 #     BenchmarkLocateBinary (internal/grid) — the O(1) rank table regressing
-#     to binary-search cost (the measured headroom is ~9x).
+#     to binary-search cost (the measured headroom is ~9x);
+#   - durability contract: WAL-on write throughput (group commit: one fsync
+#     per coalesced batch) more than 2x slower than WAL-off at writers=1 in
+#     BenchmarkE18_WriteThroughput — the group-commit window failing to
+#     amortize the fsync.
 #
 #   ./scripts/bench.sh              # full run, writes BENCH_serve.json
 #   BENCHTIME=10x ./scripts/bench.sh  # quick smoke (CI uses this)
@@ -29,6 +33,10 @@ trap 'rm -f "$tmp"' EXIT
 echo "== bench (benchtime=$benchtime)"
 go test -run '^$' -bench 'BenchmarkQuery|BenchmarkEncode|BenchmarkUpdate|BenchmarkLocate' -benchmem \
     -benchtime "$benchtime" ./internal/core/ ./internal/server/ ./internal/grid/ | tee "$tmp"
+
+echo "== bench E18 write throughput (WAL gate)"
+go test -run '^$' -bench 'BenchmarkE18_WriteThroughput/(incremental|wal)/writers=1$' -benchmem \
+    -benchtime "$benchtime" . | tee -a "$tmp"
 
 awk '
 /^Benchmark/ && /allocs\/op/ {
@@ -49,6 +57,8 @@ awk '
     if (name == "BenchmarkUpdateFullRebuild") full = ns
     if (name == "BenchmarkLocateRank")   rank = ns
     if (name == "BenchmarkLocateBinary") bin = ns
+    if (name == "BenchmarkE18_WriteThroughput/incremental/writers=1") walOff = ns
+    if (name == "BenchmarkE18_WriteThroughput/wal/writers=1")         walOn = ns
 }
 END {
     printf "\n"
@@ -61,6 +71,11 @@ END {
     if (rank + 0 > 0 && bin + 0 > 0 && rank + 0 >= bin + 0) {
         printf "REGRESSION: rank-table locate %s ns/op vs %s ns/op binary search (rank must win)\n", \
             rank, bin > "/dev/stderr"
+        exit 1
+    }
+    if (walOn + 0 > 0 && walOff + 0 > 0 && walOn + 0 > 2 * walOff) {
+        printf "REGRESSION: WAL-on write %s ns/op vs %s ns/op WAL-off (group commit must stay within 2x)\n", \
+            walOn, walOff > "/dev/stderr"
         exit 1
     }
 }' "$tmp" > "$tmp.body" || { rm -f "$tmp.body"; exit 1; }

@@ -38,7 +38,7 @@ echo "== skyserve"
 go build -o "$tmp/skyserve" ./cmd/skyserve
 "$tmp/skyserve" -addr 127.0.0.1:18080 -pprof -workers 2 >/dev/null &
 serve_pid=$!
-trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 for i in $(seq 1 50); do
     curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break
     sleep 0.1
@@ -72,7 +72,7 @@ echo "== overload (tiny limits + injected latency: shed 429s, liveness green)"
 "$tmp/skyserve" -addr 127.0.0.1:18081 -max-inflight 1 -max-queue 1 \
     -faults 'server.query=latency:30ms' >/dev/null 2>&1 &
 over_pid=$!
-trap 'kill "$serve_pid" "$over_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+trap 'kill "$serve_pid" "$over_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 for i in $(seq 1 50); do
     curl -fsS http://127.0.0.1:18081/healthz >/dev/null 2>&1 && break
     sleep 0.1
@@ -97,7 +97,7 @@ echo "== serve-from (mmap'd snapshot file vs in-memory build)"
 mem_pid=$!
 "$tmp/skyserve" -addr 127.0.0.1:18083 -serve-from "$tmp/d.sky" >/dev/null 2>&1 &
 file_pid=$!
-trap 'kill "$serve_pid" "$over_pid" "$mem_pid" "$file_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+trap 'kill "$serve_pid" "$over_pid" "$mem_pid" "$file_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 for i in $(seq 1 50); do
     curl -fsS http://127.0.0.1:18082/healthz >/dev/null 2>&1 &&
     curl -fsS http://127.0.0.1:18083/healthz >/dev/null 2>&1 && break
@@ -135,7 +135,7 @@ rep2_pid=$!
     -replicas http://127.0.0.1:18085,http://127.0.0.1:18086 \
     -primary http://127.0.0.1:18084 -health-interval 200ms >/dev/null 2>&1 &
 router_pid=$!
-trap 'kill "$serve_pid" "$over_pid" "$mem_pid" "$file_pid" "$builder_pid" "$rep1_pid" "$rep2_pid" "$router_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+trap 'kill "$serve_pid" "$over_pid" "$mem_pid" "$file_pid" "$builder_pid" "$rep1_pid" "$rep2_pid" "$router_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 for i in $(seq 1 100); do
     curl -fsS http://127.0.0.1:18085/healthz >/dev/null 2>&1 &&
     curl -fsS http://127.0.0.1:18086/healthz >/dev/null 2>&1 &&
@@ -176,5 +176,36 @@ curl -fsS http://127.0.0.1:18087/v1/health | grep -q '"replicas"'
 curl -fsS http://127.0.0.1:18087/metrics | grep -q 'skyrouter_requests_total'
 kill -TERM "$builder_pid" "$rep2_pid" "$router_pid"
 wait "$builder_pid" "$rep2_pid" "$router_pid" 2>/dev/null || true
+
+echo "== durability (WAL: ack, kill -9, restart, acked write survives)"
+"$tmp/skyserve" -addr 127.0.0.1:18088 -wal-dir "$tmp/wal" >/dev/null 2>&1 &
+wal_pid=$!
+trap 'kill "$serve_pid" "$over_pid" "$mem_pid" "$file_pid" "$builder_pid" "$rep1_pid" "$rep2_pid" "$router_pid" "$wal_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for i in $(seq 1 50); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' http://127.0.0.1:18088/v1/ready)
+    test "$code" = "200" && break
+    sleep 0.1
+done
+# until then the gate answered 503 on /v1/ready but 200 on /healthz — now both
+test "$code" = "200"
+code=$(curl -s -o /dev/null -w '%{http_code}' -d '{"id":424242,"coords":[13,85]}' http://127.0.0.1:18088/v1/points)
+test "$code" = "201"
+curl -fsS http://127.0.0.1:18088/v1/stats | grep -q '"points":12'
+# SIGKILL: no drain, no flush — the fsynced log is all that survives
+kill -KILL "$wal_pid"
+wait "$wal_pid" 2>/dev/null || true
+"$tmp/skyserve" -addr 127.0.0.1:18088 -wal-dir "$tmp/wal" >/dev/null 2>&1 &
+wal_pid=$!
+for i in $(seq 1 50); do
+    curl -fsS http://127.0.0.1:18088/v1/ready >/dev/null 2>&1 && break
+    sleep 0.1
+done
+# the acknowledged insert must have been replayed into the recovered dataset:
+# the count is back to 12 and deleting the id answers 200, not 404-unknown
+curl -fsS http://127.0.0.1:18088/v1/stats | grep -q '"points":12'
+code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE http://127.0.0.1:18088/v1/points/424242)
+test "$code" = "200"
+kill -TERM "$wal_pid"
+wait "$wal_pid" 2>/dev/null || true
 
 echo "smoke OK"
