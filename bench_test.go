@@ -466,6 +466,78 @@ func BenchmarkE15_ReadLatencyUnderWrites(b *testing.B) {
 	}
 }
 
+// E20: replication bytes per epoch — full snapshot stream vs page-level
+// delta catch-up on a churn workload of one-op coalesced batches. Each op
+// toggles one point just past the dataset's max-x edge at an existing y
+// value: the point is immediately dominated (it joins no result list) and
+// only appends a trailing grid column, so the epoch-to-epoch byte diff is
+// confined to section tails and the delta client — polling
+// ?from=<previous epoch> exactly as a replica one epoch behind would — ships
+// kilobytes while the full stream re-ships the whole file. bytes/epoch is
+// the figure EXPERIMENTS.md E20 quotes and scripts/bench.sh gates (delta
+// must move >= 5x fewer bytes than full). n is kept at 1024: the grid is
+// quadratic in distinct coordinates, so the file is already ~12 MB here and
+// a 50k-point diagram would not fit a benchmark iteration budget — the
+// full-vs-delta ratio is what matters, and it only grows with n.
+func BenchmarkE20_ReplicationBytes(b *testing.B) {
+	pts := experiments.GenQuadrant(dataset.Independent, 1024, benchSeed)
+	maxX, yAtMaxX := -1.0, 0.0
+	for _, p := range pts {
+		if p.Coords[0] > maxX {
+			maxX, yAtMaxX = p.Coords[0], p.Coords[1]
+		}
+	}
+	for _, mode := range []string{"full", "delta"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			h, err := server.New(pts, server.Config{Workers: -1, MaxDynamicPoints: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var total int64
+			epoch := uint64(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var req *httptest.ResponseRecorder
+				if i%2 == 0 {
+					body := fmt.Sprintf(`{"id":9000000,"coords":[%g,%g]}`, maxX+1, yAtMaxX)
+					r := httptest.NewRequest("POST", "/v1/points", strings.NewReader(body))
+					req = httptest.NewRecorder()
+					h.ServeHTTP(req, r)
+					if req.Code != 201 {
+						b.Fatalf("insert code %d", req.Code)
+					}
+				} else {
+					r := httptest.NewRequest("DELETE", "/v1/points/9000000", nil)
+					req = httptest.NewRecorder()
+					h.ServeHTTP(req, r)
+					if req.Code != 200 {
+						b.Fatalf("delete code %d", req.Code)
+					}
+				}
+				prev := epoch
+				epoch++
+				url := "/v1/snapshot"
+				if mode == "delta" {
+					url = fmt.Sprintf("/v1/snapshot?epoch=%d&from=%d", prev, prev)
+				}
+				r := httptest.NewRequest("GET", url, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, r)
+				if rec.Code != 200 {
+					b.Fatalf("snapshot code %d: %s", rec.Code, rec.Body.String())
+				}
+				if got := rec.Header().Get("X-Sky-Snapshot-Mode"); mode == "delta" && got != "delta" {
+					b.Fatalf("epoch %d served mode %q, want delta", epoch, got)
+				}
+				total += int64(rec.Body.Len())
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total)/float64(b.N), "bytes/epoch")
+		})
+	}
+}
+
 // E12: compact vs flat storage, reported as bytes per representation.
 func BenchmarkE12_CompactMemory(b *testing.B) {
 	for _, n := range []int{100, 400} {

@@ -63,6 +63,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -79,6 +80,9 @@ func main() {
 	primary := flag.String("primary", "", "replica mode: builder base URL to pull epoch-stamped snapshots from (read-only serving)")
 	snapshotDir := flag.String("snapshot-dir", "", "replica mode: directory caching fetched snapshot files (required with -primary)")
 	refresh := flag.Duration("refresh", server.DefaultRefreshInterval, "replica mode: snapshot poll interval")
+	deltaRing := flag.Int("delta-ring", 0,
+		"per-epoch snapshot manifests retained for page-delta catch-up: 0 default ("+
+			strconv.Itoa(server.DefaultDeltaRing)+"), negative disables deltas")
 	addr := flag.String("addr", ":8080", "listen address")
 	maxDyn := flag.Int("max-dynamic", 128, "largest dataset for which the dynamic diagram is built")
 	maxBatch := flag.Int("max-batch", 8192, "largest accepted /v1/skyline/batch query count")
@@ -128,6 +132,7 @@ func main() {
 		CompactRatio:     *compactRatio,
 		WALDir:           *walDir,
 		CheckpointBytes:  *ckptBytes,
+		DeltaRing:        *deltaRing,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

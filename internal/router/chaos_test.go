@@ -94,8 +94,18 @@ func chaosPoints(n int) []geom.Point {
 // snapshot it claims to come from (X-Sky-Epoch) answers, for an epoch the
 // builder actually published. Sheds and 503s are allowed and attributed;
 // wrong or torn answers are not.
+//
+// The catch-up path is deliberately mixed-mode: half the writes reuse
+// existing coordinate values (grid shape stable, so those epochs propagate
+// as page deltas) and half add fresh grid lines (near-total rewrites that
+// must fall back to full streams), while the builder's manifest ring is kept
+// shallow so the slow replica's multi-epoch lag forces ring misses. The
+// byte-check above applies unchanged to every response — replicas that
+// caught up by patching must be indistinguishable from ones that fetched
+// full files.
 func TestChaosReplicaKillFailover(t *testing.T) {
-	h, err := server.New(chaosPoints(150), server.Config{MaxDynamicPoints: 1})
+	pts := chaosPoints(150)
+	h, err := server.New(pts, server.Config{MaxDynamicPoints: 1, DeltaRing: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,9 +269,23 @@ func TestChaosReplicaKillFailover(t *testing.T) {
 		}
 	}()
 
+	// Odd writes land just past the current max-x edge at an existing y
+	// value: the point is immediately dominated, so it joins no result list
+	// and only appends a trailing grid column — those epochs ship as small
+	// deltas. Even writes use fresh interior coordinates, which re-index
+	// everything and must fall back to full streams.
+	maxX, yAtMaxX := -1.0, 0.0
+	for _, p := range pts {
+		if p.Coords[0] > maxX {
+			maxX, yAtMaxX = p.Coords[0], p.Coords[1]
+		}
+	}
 	for i := 0; i < 10; i++ {
-		body := fmt.Sprintf(`{"id":%d,"coords":[%g,%g]}`, 1000+i,
-			float64((i*37)%100), float64((i*53)%100))
+		x, y := float64((i*37)%100), float64((i*53)%100)
+		if i%2 == 1 {
+			x, y = maxX+float64(i), yAtMaxX
+		}
+		body := fmt.Sprintf(`{"id":%d,"coords":[%g,%g]}`, 1000+i, x, y)
 		resp, err := http.Post(builder.URL+"/v1/points", "application/json",
 			strings.NewReader(body))
 		if err != nil {
@@ -352,6 +376,22 @@ func TestChaosReplicaKillFailover(t *testing.T) {
 	if maxEpoch < 2 {
 		t.Fatalf("no post-write epoch was ever served (max %d): replication never propagated", maxEpoch)
 	}
-	t.Logf("chaos summary: %d responses (%v by status), %d net errors, epochs served %v, failovers %d, no-replica %d",
-		len(observed), statusCounts, netErrs, epochsSeen, rt.failovers.Value(), rt.noReplica.Value())
+	deltaHits := h.Metrics().Counter("skyserve_snapshot_delta_hits_total", "").Value()
+	if deltaHits == 0 {
+		t.Fatal("no replica ever caught up via a delta body")
+	}
+	var fallbacks int64
+	fallbackByReason := map[string]int64{}
+	for _, reason := range []string{"ring_miss", "not_smaller", "shape", "kind", "disabled"} {
+		v := h.Metrics().Counter("skyserve_snapshot_delta_fallbacks_total", "", "reason", reason).Value()
+		fallbacks += v
+		if v > 0 {
+			fallbackByReason[reason] = v
+		}
+	}
+	if fallbacks == 0 {
+		t.Fatal("chaos never exercised a delta fallback — the mixed workload is broken")
+	}
+	t.Logf("chaos summary: %d responses (%v by status), %d net errors, epochs served %v, failovers %d, no-replica %d, delta hits %d, fallbacks %v",
+		len(observed), statusCounts, netErrs, epochsSeen, rt.failovers.Value(), rt.noReplica.Value(), deltaHits, fallbackByReason)
 }

@@ -177,6 +177,9 @@ func (h *Handler) runBatch() {
 		}
 		st := stateFromSet(next)
 		st.epoch = epoch
+		// Hash the canonical bytes into the delta ring before the swap, so a
+		// replica that sees the new epoch can always ask for a delta to it.
+		h.recordState(st)
 		h.mu.Lock()
 		h.setState(st)
 		h.mu.Unlock()

@@ -103,6 +103,7 @@ func newDurable(pts []geom.Point, cfg Config) (*Handler, error) {
 		fst.epoch = epoch
 		st = fst
 	}
+	h.recordState(st)
 	h.setState(st)
 	h.wal = w
 	h.walCommits = h.reg.Counter("skyserve_wal_commits_total",

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -19,10 +20,12 @@ import (
 )
 
 // Replica keeps a serve-from handler in sync with a builder node: it polls
-// GET /v1/snapshot?epoch= with the epoch it currently serves, and on a 200
-// writes the body to its snapshot directory (temp + fsync + rename, like
-// the builder's own publish), memory-maps it — the CRC check at open
-// rejects any torn download, which is then deleted and refetched — and
+// GET /v1/snapshot?epoch= with the epoch it currently serves (plus ?from=
+// so a delta-capable primary may answer with just the changed pages, which
+// are patched over the cached file), and on a 200 writes the resulting
+// bytes to its snapshot directory (temp + fsync + rename, like the
+// builder's own publish), memory-maps it — the CRC check at open rejects
+// any torn download or bad patch, which is then deleted and refetched — and
 // pointer-swaps it into the handler. Readers never block: they drain off
 // the old mapping, which is closed and its file deleted only afterwards.
 //
@@ -38,6 +41,12 @@ type Replica struct {
 	httpc    *http.Client
 
 	curPath string // file backing the currently served store
+
+	// fullNext forces the next poll to skip delta negotiation. Set when a
+	// delta body failed to apply (diverged base, torn or corrupt patch):
+	// retrying the delta would fail the same way, while a full fetch always
+	// converges. One successful poll clears it.
+	fullNext bool
 
 	// Backoff on persistent primary failure: consecutive fetch errors grow
 	// the poll delay exponentially (with jitter, so a fleet of replicas
@@ -241,11 +250,18 @@ func (r *Replica) Close() error {
 
 // fetch polls the primary with the given epoch. It returns (nil, "", nil)
 // on 304, or an opened mmap'd store backed by a freshly published file in
-// the snapshot directory. Any integrity failure — torn body caught by the
-// CRC trailer, epoch not newer — deletes the file and errors, so a bad
-// fetch can never become the served snapshot.
+// the snapshot directory. When the replica holds a cached file it offers
+// ?from= and the primary may answer with a delta body, which is patched
+// over the cached bytes before the same persist path. Any integrity
+// failure — torn body or bad patch caught by a CRC, epoch not newer —
+// deletes the file and errors, so a bad fetch can never become the served
+// snapshot; a failed patch additionally forces the next poll to fetch full.
 func (r *Replica) fetch(ctx context.Context, epoch uint64) (*store.Store, string, error) {
 	url := fmt.Sprintf("%s/v1/snapshot?epoch=%d", r.primary, epoch)
+	wantDelta := epoch > 0 && r.curPath != "" && !r.fullNext
+	if wantDelta {
+		url += fmt.Sprintf("&from=%d", epoch)
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, "", err
@@ -257,6 +273,7 @@ func (r *Replica) fetch(ctx context.Context, epoch uint64) (*store.Store, string
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusNotModified:
+		r.fullNext = false
 		return nil, "", nil
 	case http.StatusOK:
 	default:
@@ -269,13 +286,28 @@ func (r *Replica) fetch(ctx context.Context, epoch uint64) (*store.Store, string
 			resp.Header.Get("X-Sky-Epoch"), epoch)
 	}
 
+	var src io.Reader = resp.Body
+	if resp.Header.Get("X-Sky-Snapshot-Mode") == "delta" {
+		if !wantDelta {
+			return nil, "", fmt.Errorf("snapshot fetch: unsolicited delta body")
+		}
+		// Anything that goes wrong from here until the swap means the delta
+		// path is poisoned for this base; converge via a full fetch next.
+		r.fullNext = true
+		patched, err := r.applyDelta(resp.Body)
+		if err != nil {
+			return nil, "", fmt.Errorf("snapshot patch: %w", err)
+		}
+		src = bytes.NewReader(patched)
+	}
+
 	final := filepath.Join(r.dir, snapshotFileName(remote))
 	tmp := final + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return nil, "", err
 	}
-	_, cpErr := io.Copy(f, resp.Body)
+	_, cpErr := io.Copy(f, src)
 	if cpErr == nil {
 		cpErr = f.Sync()
 	}
@@ -303,7 +335,24 @@ func (r *Replica) fetch(ctx context.Context, epoch uint64) (*store.Store, string
 		return nil, "", fmt.Errorf("snapshot validate: file epoch %d not newer than %d",
 			st.Epoch(), epoch)
 	}
+	r.fullNext = false
 	return st, final, nil
+}
+
+// applyDelta patches the cached snapshot file with a delta body. The result
+// is the exact full-file bytes the primary serves (store.ApplyDelta refuses
+// anything else by CRC), so the caller persists and validates it exactly
+// like a full download.
+func (r *Replica) applyDelta(body io.Reader) ([]byte, error) {
+	delta, err := io.ReadAll(body)
+	if err != nil {
+		return nil, err
+	}
+	base, err := os.ReadFile(r.curPath)
+	if err != nil {
+		return nil, fmt.Errorf("read base %s: %w", r.curPath, err)
+	}
+	return store.ApplyDelta(base, delta)
 }
 
 // snapshotFileName names the cache file for one epoch.

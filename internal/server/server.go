@@ -162,6 +162,11 @@ type Config struct {
 	// compacted snapshot with one more pointer swap. 0 means the default of
 	// 0.5; negative disables compaction.
 	CompactRatio float64
+	// DeltaRing sets how many epochs of page-hash manifests are retained so
+	// GET /v1/snapshot?from=N can answer with a delta instead of the full
+	// file (see docs/SCALEOUT.md). 0 means the default of 32; negative
+	// disables delta serving (every catch-up is a full stream).
+	DeltaRing int
 	// Metrics receives the handler's instrumentation. nil means a fresh
 	// registry, retrievable via Handler.Metrics.
 	Metrics *metrics.Registry
@@ -300,6 +305,11 @@ type Handler struct {
 	walCkpts        *metrics.Counter
 	walBytes        *metrics.Gauge
 
+	// Delta snapshot serving (see delta.go): ring retains per-epoch page
+	// hashes of the published bytes; nil means deltas are disabled.
+	ring      *manifestRing
+	deltaHits *metrics.Counter // snapshot requests answered with a delta body
+
 	// readOnly marks a serve-from handler: the snapshot is a diagram file,
 	// inserts and deletes answer 501.
 	readOnly bool
@@ -343,6 +353,7 @@ func New(pts []geom.Point, cfg Config) (*Handler, error) {
 		return nil, err
 	}
 	st.epoch = 1
+	h.recordState(st)
 	h.setState(st)
 	h.initRoutes()
 	return h, nil
@@ -362,7 +373,9 @@ func NewServeFrom(st *store.Store, cfg Config) (*Handler, error) {
 	}
 	h := newHandler(cfg)
 	h.readOnly = true
-	h.setState(serveFromState(st, kind))
+	first := serveFromState(st, kind)
+	h.recordState(first)
+	h.setState(first)
 	h.initRoutes()
 	return h, nil
 }
@@ -456,6 +469,15 @@ func newHandler(cfg Config) *Handler {
 			"Ops folded into one coalesced maintenance batch (count = batches)."),
 		compactions: reg.Counter("skyserve_compactions_total",
 			"Arena compactions triggered by the garbage-ratio policy."),
+		deltaHits: reg.Counter("skyserve_snapshot_delta_hits_total",
+			"Snapshot catch-ups answered with a page-level delta body."),
+	}
+	if cfg.DeltaRing >= 0 {
+		n := cfg.DeltaRing
+		if n == 0 {
+			n = DefaultDeltaRing
+		}
+		h.ring = newManifestRing(n)
 	}
 	if cfg.MaxInFlight > 0 {
 		h.slots = make(chan struct{}, cfg.MaxInFlight)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -11,20 +12,22 @@ import (
 
 // Snapshot replication. The builder node exposes its published snapshot as
 // a store-format file over GET /v1/snapshot; read replicas poll it with
-// their current epoch and swap the fetched file in via SwapStore. The
-// negotiation is deliberately dumb — full-state transfer with an epoch
-// short-circuit — because the store file is already the minimal replication
-// artifact: canonicalized (same point set => same bytes regardless of
-// maintenance history), CRC-trailed (a torn fetch fails at open, so the
-// transport needs no integrity protocol), and mmap-ready (a replica serves
-// it without materialization).
+// their current epoch and swap the fetched file in via SwapStore. The store
+// file is the replication artifact: canonicalized (same point set => same
+// bytes regardless of maintenance history), CRC-trailed (a torn fetch fails
+// at open, so the transport needs no integrity protocol), and mmap-ready (a
+// replica serves it without materialization).
 //
 // Catch-up protocol: a replica sends ?epoch=N (the snapshot generation it
 // serves) and optionally If-None-Match with the ETag it last saw. If the
 // builder's epoch is <= N the reply is 304 Not Modified with X-Sky-Epoch,
-// costing one header round trip. Otherwise the reply is the full current
-// snapshot — there are no deltas, so a replica that fell arbitrarily far
-// behind (or starts empty with epoch 0) catches up in exactly one fetch.
+// costing one header round trip. A replica that also sends ?from=N and
+// whose epoch is still inside the publisher's manifest ring may be answered
+// with a page-level delta body (X-Sky-Snapshot-Mode: delta) that patches
+// its cached file into the current bytes; every other case — ring miss,
+// kind change, delta no smaller than the file — falls back to the full
+// current snapshot, so any replica catches up in exactly one fetch either
+// way. See delta.go and docs/SCALEOUT.md.
 
 // snapshotETag is the entity tag for one published snapshot generation.
 func snapshotETag(epoch uint64, kind string) string {
@@ -34,11 +37,14 @@ func snapshotETag(epoch uint64, kind string) string {
 // handleSnapshot streams the current snapshot in store format.
 //
 //	GET /v1/snapshot?epoch=3            full snapshot, or 304 if epoch <= 3
+//	GET /v1/snapshot?epoch=3&from=3     delta against epoch 3 when possible
 //	GET /v1/snapshot?kind=dynamic       explicit kind (must match what's served)
 //
 // A builder serves its in-memory quadrant diagram (the replication
 // artifact); a serve-from replica relays its mapped file byte-identically,
-// so a chain of replicas converges on the exact same bytes.
+// so a chain of replicas converges on the exact same bytes — deltas
+// included, since a delta patches into exactly the bytes a full stream
+// would carry (enforced by CRC at both ends).
 func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snap := h.snapshot()
 	kind, err := normalizeKind(r.URL.Query().Get("kind"))
@@ -63,25 +69,68 @@ func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+
+	mode := "full"
+	var streamed int64
 	var werr error
-	if snap.stored != nil {
-		_, werr = snap.stored.st.WriteTo(w)
+	if fromS := r.URL.Query().Get("from"); fromS != "" {
+		// Delta-capable client: buffer the full bytes (the diff needs page
+		// contents either way) and ship the smaller of delta and full.
+		from, perr := strconv.ParseUint(fromS, 10, 64)
+		body, berr := snapshotBytes(snap)
+		if berr != nil {
+			writeError(w, http.StatusInternalServerError, berr.Error())
+			return
+		}
+		if perr == nil {
+			if delta, ok := h.tryDelta(snap, from, body); ok {
+				body, mode = delta, "delta"
+				h.deltaHits.Inc()
+			}
+		}
+		w.Header().Set("X-Sky-Snapshot-Mode", mode)
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		n, werr0 := w.Write(body)
+		streamed, werr = int64(n), werr0
 	} else {
-		werr = store.WriteEpoch(w, snap.quadrant.Cells(), snap.epoch)
+		w.Header().Set("X-Sky-Snapshot-Mode", mode)
+		cw := &countingWriter{w: w}
+		if snap.stored != nil {
+			_, werr = snap.stored.st.WriteTo(cw)
+		} else {
+			werr = store.WriteEpoch(cw, snap.quadrant.Cells(), snap.epoch)
+		}
+		streamed = cw.n
 	}
+	h.reg.Counter("skyserve_snapshot_bytes_total",
+		"Snapshot body bytes put on the wire via /v1/snapshot, by transfer mode.",
+		"mode", mode).Add(streamed)
 	if werr != nil {
 		// The status line is already on the wire; the replica detects the
-		// torn body by CRC at open and refetches.
+		// torn body by CRC (patch CRC for deltas, trailer CRC at open for
+		// full files) and refetches. An aborted stream is not a fetch.
 		log.Printf("skyserve: snapshot stream aborted: %v", werr)
+		return
 	}
 	h.reg.Counter("skyserve_snapshot_fetches_total",
-		"Full snapshot bodies streamed to replicas via /v1/snapshot.").Inc()
-	if werr == nil {
-		// A replica just pulled this generation, so its bytes are durable
-		// off-box too — a natural moment to checkpoint the local WAL.
-		// Off the request path; no-op without a WAL or when already current.
-		h.checkpointAsync()
-	}
+		"Complete snapshot bodies (full or delta) streamed via /v1/snapshot.").Inc()
+	// A replica just pulled this generation, so its bytes are durable
+	// off-box too — a natural moment to checkpoint the local WAL.
+	// Off the request path; no-op without a WAL or when already current.
+	h.checkpointAsync()
+}
+
+// countingWriter counts what actually reached the wire, so the bytes
+// counter reflects transfer cost even for aborted streams.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // notModified reports whether the client already holds this generation:
@@ -110,6 +159,9 @@ func (h *Handler) SwapStore(st *store.Store) (*store.Store, error) {
 		return nil, fmt.Errorf("server: store has unknown diagram kind")
 	}
 	next := serveFromState(st, kind)
+	// Hash the new file into the delta ring before publishing, so this node
+	// can relay deltas to replicas chained behind it.
+	h.recordState(next)
 	h.mu.Lock()
 	prev := h.st
 	if next.epoch <= prev.epoch {

@@ -18,7 +18,11 @@
 #   - durability contract: WAL-on write throughput (group commit: one fsync
 #     per coalesced batch) more than 2x slower than WAL-off at writers=1 in
 #     BenchmarkE18_WriteThroughput — the group-commit window failing to
-#     amortize the fsync.
+#     amortize the fsync;
+#   - replication contract: delta snapshot catch-up in
+#     BenchmarkE20_ReplicationBytes not moving at least 5x fewer bytes per
+#     epoch than the full stream on the trailing-edge churn workload (the
+#     measured headroom is ~145x; see EXPERIMENTS.md E20).
 #
 #   ./scripts/bench.sh              # full run, writes BENCH_serve.json
 #   BENCHTIME=10x ./scripts/bench.sh  # quick smoke (CI uses this)
@@ -38,18 +42,26 @@ echo "== bench E18 write throughput (WAL gate)"
 go test -run '^$' -bench 'BenchmarkE18_WriteThroughput/(incremental|wal)/writers=1$' -benchmem \
     -benchtime "$benchtime" . | tee -a "$tmp"
 
+echo "== bench E20 replication bytes (delta gate)"
+go test -run '^$' -bench 'BenchmarkE20_ReplicationBytes' -benchmem \
+    -benchtime "${E20_BENCHTIME:-10x}" . | tee -a "$tmp"
+
 awk '
 /^Benchmark/ && /allocs\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
+    bpe = ""
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i-1)
-        if ($i == "B/op")      bytes = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "ns/op")       ns = $(i-1)
+        if ($i == "B/op")        bytes = $(i-1)
+        if ($i == "allocs/op")   allocs = $(i-1)
+        if ($i == "bytes/epoch") bpe = $(i-1)
     }
     if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", \
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s", \
         name, ns, bytes, allocs
+    if (bpe != "") printf ", \"bytes_per_epoch\": %s", bpe
+    printf "}"
     if (name ~ /^(BenchmarkQuery|BenchmarkEncode|BenchmarkLocate)/ && allocs + 0 > 0) {
         bad = bad name " (" allocs " allocs/op) "
     }
@@ -59,6 +71,8 @@ awk '
     if (name == "BenchmarkLocateBinary") bin = ns
     if (name == "BenchmarkE18_WriteThroughput/incremental/writers=1") walOff = ns
     if (name == "BenchmarkE18_WriteThroughput/wal/writers=1")         walOn = ns
+    if (name == "BenchmarkE20_ReplicationBytes/full")  fullBpe = bpe
+    if (name == "BenchmarkE20_ReplicationBytes/delta") deltaBpe = bpe
 }
 END {
     printf "\n"
@@ -76,6 +90,11 @@ END {
     if (walOn + 0 > 0 && walOff + 0 > 0 && walOn + 0 > 2 * walOff) {
         printf "REGRESSION: WAL-on write %s ns/op vs %s ns/op WAL-off (group commit must stay within 2x)\n", \
             walOn, walOff > "/dev/stderr"
+        exit 1
+    }
+    if (fullBpe + 0 > 0 && deltaBpe + 0 > 0 && deltaBpe * 5 > fullBpe + 0) {
+        printf "REGRESSION: delta catch-up ships %s bytes/epoch vs %s full (want >=5x fewer)\n", \
+            deltaBpe, fullBpe > "/dev/stderr"
         exit 1
     }
 }' "$tmp" > "$tmp.body" || { rm -f "$tmp.body"; exit 1; }

@@ -123,7 +123,11 @@ wait "$mem_pid" "$file_pid" 2>/dev/null || true
 
 echo "== scale-out (builder + 2 replicas + router, replica killed mid-load)"
 go build -o "$tmp/skyrouter" ./cmd/skyrouter
-"$tmp/skyserve" -addr 127.0.0.1:18084 >/dev/null 2>&1 &
+# A 240-point dataset (not the 11-hotel default): big enough that a
+# grid-stable write ships as a page delta instead of a file smaller than the
+# delta framing overhead.
+go run ./cmd/skydiag gen -n 240 -dist inde -domain 4096 -o "$tmp/scale.csv"
+"$tmp/skyserve" -addr 127.0.0.1:18084 -in "$tmp/scale.csv" >/dev/null 2>&1 &
 builder_pid=$!
 "$tmp/skyserve" -addr 127.0.0.1:18085 -primary http://127.0.0.1:18084 \
     -snapshot-dir "$tmp/rep1" -refresh 200ms >/dev/null 2>&1 &
@@ -139,7 +143,8 @@ trap 'kill "$serve_pid" "$over_pid" "$mem_pid" "$file_pid" "$builder_pid" "$rep1
 for i in $(seq 1 100); do
     curl -fsS http://127.0.0.1:18085/healthz >/dev/null 2>&1 &&
     curl -fsS http://127.0.0.1:18086/healthz >/dev/null 2>&1 &&
-    curl -fsS http://127.0.0.1:18087/v1/health >/dev/null 2>&1 && break
+    curl -fsS http://127.0.0.1:18087/v1/health >/dev/null 2>&1 &&
+    curl -fsS 'http://127.0.0.1:18087/v1/skyline?kind=quadrant&x=10&y=80' >/dev/null 2>&1 && break
     sleep 0.1
 done
 # a routed answer must be byte-identical to the single in-memory builder's
@@ -159,10 +164,22 @@ probe_diff "both replicas up"
 curl -fsSi 'http://127.0.0.1:18087/v1/skyline?kind=quadrant&x=10&y=80' \
     | grep -qi 'X-Sky-Backend:'
 # writes forward to the builder and the new epoch propagates to the replicas
-code=$(curl -s -o /dev/null -w '%{http_code}' -d '{"id":99,"coords":[13,85]}' http://127.0.0.1:18087/v1/points)
+code=$(curl -s -o /dev/null -w '%{http_code}' -d '{"id":9999,"coords":[13.5,85.5]}' http://127.0.0.1:18087/v1/points)
 test "$code" = "201"
 sleep 1
 probe_diff "after routed write propagated"
+# a trailing-edge write (just past the dataset's max x at an existing y)
+# keeps the grid shape stable, so replicas one epoch behind catch up via a
+# page delta instead of refetching the whole file: the builder must report
+# delta hits and delta bytes on the wire, and routed answers must still match
+edge=$(awk -F, '$2 + 0 > mx { mx = $2 + 0; my = $3 } END { printf "[%d,%s]", mx + 1, my }' "$tmp/scale.csv")
+code=$(curl -s -o /dev/null -w '%{http_code}' -d "{\"id\":10000,\"coords\":$edge}" http://127.0.0.1:18087/v1/points)
+test "$code" = "201"
+sleep 1
+probe_diff "after delta-friendly write propagated"
+hits=$(curl -fsS http://127.0.0.1:18084/metrics | awk '$1 == "skyserve_snapshot_delta_hits_total" {print $2}')
+test "${hits:-0}" -gt 0 || { echo "builder reports no snapshot delta hits" >&2; exit 1; }
+curl -fsS http://127.0.0.1:18084/metrics | grep -q 'skyserve_snapshot_bytes_total{mode="delta"}'
 # kill one replica mid-load: every routed read must still succeed and match
 kill -TERM "$rep1_pid"
 wait "$rep1_pid" 2>/dev/null || true
